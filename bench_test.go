@@ -1,0 +1,130 @@
+package nuba_test
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (see DESIGN.md's experiment index). Each bench
+// regenerates its artifact through the same experiment recipes the
+// cmd/nubasweep tool uses and logs the resulting rows, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation in miniature. To keep the default bench
+// run tractable, benches use a 16-SM (0.25x) GPU and a six-benchmark
+// core subset; run cmd/nubasweep or cmd/nubareport for the full-scale
+// 64-SM, 29-benchmark numbers. Set NUBA_BENCH_FULL=1 to run the benches
+// at full scale instead.
+
+import (
+	"os"
+	"testing"
+
+	"github.com/nuba-gpu/nuba"
+	"github.com/nuba-gpu/nuba/internal/experiments"
+	"github.com/nuba-gpu/nuba/internal/workload"
+)
+
+// benchOptions returns the Runner options used by the benches.
+func benchOptions(b *testing.B) experiments.Options {
+	scale := 0.25
+	if os.Getenv("NUBA_BENCH_FULL") != "" {
+		scale = 1
+	}
+	subset := []string{"LBM", "AN", "BT"}
+	var benches []workload.Benchmark
+	for _, abbr := range subset {
+		wb, err := workload.ByAbbr(abbr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benches = append(benches, wb)
+	}
+	return experiments.Options{Scale: scale, Benchmarks: benches}
+}
+
+// runExperiment executes the named experiment b.N times, logging the
+// last report.
+func runExperiment(b *testing.B, name string) {
+	e, err := experiments.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var report string
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOptions(b))
+		report, err = e.Run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + report)
+}
+
+// BenchmarkTable2Workloads regenerates Table 2 (the suite inventory).
+func BenchmarkTable2Workloads(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFig3SharingDegree regenerates Figure 3 (page sharing degree).
+func BenchmarkFig3SharingDegree(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig7IsoResource regenerates Figure 7 (iso-resource speedups).
+func BenchmarkFig7IsoResource(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8PerceivedBandwidth regenerates Figure 8 (replies/cycle).
+func BenchmarkFig8PerceivedBandwidth(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9MissBreakdown regenerates Figure 9 (local/remote misses).
+func BenchmarkFig9MissBreakdown(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10NoCPower regenerates Figure 10 (performance vs NoC power).
+func BenchmarkFig10NoCPower(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11PageAllocation regenerates Figure 11 (FT vs RR vs LAB).
+func BenchmarkFig11PageAllocation(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12Replication regenerates Figure 12 (No/Full/MDR).
+func BenchmarkFig12Replication(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13Energy regenerates Figure 13 (energy breakdown).
+func BenchmarkFig13Energy(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14GPUSize regenerates the Figure 14 GPU-size sweep.
+func BenchmarkFig14GPUSize(b *testing.B) { runExperiment(b, "fig14-size") }
+
+// BenchmarkFig14Partition regenerates the Figure 14 partition-ratio sweep.
+func BenchmarkFig14Partition(b *testing.B) { runExperiment(b, "fig14-partition") }
+
+// BenchmarkFig14LLCCapacity regenerates the Figure 14 LLC-capacity sweep.
+func BenchmarkFig14LLCCapacity(b *testing.B) { runExperiment(b, "fig14-llc") }
+
+// BenchmarkFig14PageSize regenerates the Figure 14 page-size sweep.
+func BenchmarkFig14PageSize(b *testing.B) { runExperiment(b, "fig14-page") }
+
+// BenchmarkFig14AddressMapping regenerates the Figure 14 PAE comparison.
+func BenchmarkFig14AddressMapping(b *testing.B) { runExperiment(b, "fig14-addrmap") }
+
+// BenchmarkFig14LABThreshold regenerates the Figure 14 LAB-threshold sweep.
+func BenchmarkFig14LABThreshold(b *testing.B) { runExperiment(b, "fig14-lab") }
+
+// BenchmarkFig16MCM regenerates Figure 16 (MCM-GPU).
+func BenchmarkFig16MCM(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkAltPagePlacement regenerates the §7.6 comparison (migration and
+// page replication against LAB).
+func BenchmarkAltPagePlacement(b *testing.B) { runExperiment(b, "alt-placement") }
+
+// BenchmarkSingleRunNUBA measures the simulator itself: one SGEMM run on
+// the scaled NUBA GPU (simulated-cycles-per-second throughput).
+func BenchmarkSingleRunNUBA(b *testing.B) {
+	bench, err := nuba.BenchmarkByAbbr("SGEMM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := nuba.NUBAConfig().Scale(0.25)
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := nuba.Run(cfg, bench)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Stats.Cycles
+	}
+	b.ReportMetric(float64(cycles), "simcycles/run")
+}

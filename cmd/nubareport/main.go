@@ -1,0 +1,78 @@
+// Command nubareport runs every reproduction experiment and writes a
+// single report (EXPERIMENTS.md-style) to stdout or a file. This is the
+// long-running "regenerate the whole evaluation" entry point; expect a
+// multi-hour run at full scale.
+//
+// Usage:
+//
+//	nubareport [-o report.md] [-scale 0.5] [-bench A,B,...] [-skip fig10,fig16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/nuba-gpu/nuba/internal/experiments"
+	"github.com/nuba-gpu/nuba/internal/workload"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	scale := flag.Float64("scale", 1, "GPU scale factor")
+	benchList := flag.String("bench", "", "comma-separated benchmark subset")
+	skip := flag.String("skip", "", "comma-separated experiments to skip")
+	verbose := flag.Bool("v", false, "per-run progress on stderr")
+	flag.Parse()
+
+	opts := experiments.Options{Scale: *scale}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+	if *benchList != "" {
+		for _, abbr := range strings.Split(*benchList, ",") {
+			b, err := workload.ByAbbr(strings.TrimSpace(abbr))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nubareport:", err)
+				os.Exit(2)
+			}
+			opts.Benchmarks = append(opts.Benchmarks, b)
+		}
+	}
+	skipSet := map[string]bool{}
+	for _, s := range strings.Split(*skip, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			skipSet[s] = true
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nubareport:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	r := experiments.NewRunner(opts)
+	fmt.Fprintf(w, "# NUBA reproduction report\n\n")
+	for _, e := range experiments.All() {
+		if skipSet[e.Name] {
+			fmt.Fprintf(w, "## %s — SKIPPED\n\n", e.Title)
+			continue
+		}
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "== %s ==\n", e.Name)
+		report, err := e.Run(r)
+		if err != nil {
+			fmt.Fprintf(w, "## %s\n\nERROR: %v\n\n", e.Title, err)
+			continue
+		}
+		fmt.Fprintf(w, "## %s\n\n```\n%s```\n(%.0fs)\n\n", e.Title, report, time.Since(start).Seconds())
+	}
+}

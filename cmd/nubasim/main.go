@@ -1,0 +1,117 @@
+// Command nubasim runs one benchmark on one GPU configuration and prints
+// the measured statistics — the quickest way to poke at the simulator.
+//
+// Usage:
+//
+//	nubasim -arch nuba -bench SGEMM
+//	nubasim -arch uba -bench LBM -noc 700 -placement rr -replication none
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/nuba-gpu/nuba"
+	"github.com/nuba-gpu/nuba/internal/energy"
+)
+
+func main() {
+	arch := flag.String("arch", "nuba", "architecture: uba | sm-side | nuba")
+	bench := flag.String("bench", "SGEMM", "benchmark abbreviation (see nubasweep -list)")
+	nocGBs := flag.Float64("noc", 1400, "NoC bandwidth in GB/s")
+	placement := flag.String("placement", "", "page placement: ft | rr | lab | migration | pagerep (default: arch default)")
+	replication := flag.String("replication", "", "replication: none | full | mdr (default: arch default)")
+	scale := flag.Float64("scale", 1, "GPU scale factor")
+	pae := flag.Bool("pae", false, "use the PAE address mapping")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var cfg nuba.Config
+	switch strings.ToLower(*arch) {
+	case "uba", "uba-mem":
+		cfg = nuba.Baseline()
+	case "sm-side", "uba-sm":
+		cfg = nuba.SMSideConfig()
+	case "nuba":
+		cfg = nuba.NUBAConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "nubasim: unknown arch %q\n", *arch)
+		os.Exit(2)
+	}
+	cfg = cfg.WithNoC(*nocGBs).Scale(*scale)
+	cfg.Seed = *seed
+	if *pae {
+		cfg.AddressMap = nuba.PAE
+	}
+	switch strings.ToLower(*placement) {
+	case "":
+	case "ft", "first-touch":
+		cfg.Placement = nuba.FirstTouch
+	case "rr", "round-robin":
+		cfg.Placement = nuba.RoundRobin
+	case "lab":
+		cfg.Placement = nuba.LAB
+	case "migration":
+		cfg.Placement = nuba.Migration
+	case "pagerep", "page-replication":
+		cfg.Placement = nuba.PageReplication
+	default:
+		fmt.Fprintf(os.Stderr, "nubasim: unknown placement %q\n", *placement)
+		os.Exit(2)
+	}
+	switch strings.ToLower(*replication) {
+	case "":
+	case "none", "no-rep":
+		cfg.Replication = nuba.NoRep
+	case "full":
+		cfg.Replication = nuba.FullRep
+	case "mdr":
+		cfg.Replication = nuba.MDR
+	default:
+		fmt.Fprintf(os.Stderr, "nubasim: unknown replication %q\n", *replication)
+		os.Exit(2)
+	}
+
+	b, err := nuba.BenchmarkByAbbr(strings.ToUpper(*bench))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nubasim:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("running %s (%s) on %s...\n", b.Abbr, b.Name, cfg.Name())
+	res, err := nuba.Run(cfg, b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nubasim:", err)
+		os.Exit(1)
+	}
+	st := res.Stats
+	fmt.Printf("cycles:            %d\n", st.Cycles)
+	fmt.Printf("warp IPC:          %.3f\n", st.IPC())
+	fmt.Printf("replies/cycle:     %.3f (perceived bandwidth)\n", st.RepliesPerCycle())
+	fmt.Printf("L1 miss rate:      %.3f\n", st.L1MissRate())
+	fmt.Printf("LLC hit rate:      %.3f\n", st.LLCHitRate())
+	fmt.Printf("local fraction:    %.3f (replicated %.3f)\n", st.LocalFraction(),
+		float64(st.ReplicatedAccesses)/float64(max64(1, st.LocalAccesses+st.RemoteAccesses)))
+	fmt.Printf("DRAM reads/writes: %d / %d (row hit %.2f)\n", st.DRAMReads, st.DRAMWrites,
+		float64(st.DRAMRowHits)/float64(max64(1, st.DRAMRowHits+st.DRAMRowMisses)))
+	fmt.Printf("page faults:       %d (walks %d)\n", st.PageFaults, st.PageWalks)
+	fmt.Printf("mem latency:       %.0f cycles avg\n", st.AvgMemLatency())
+	one, two, eleven, over := res.Sharing.Buckets()
+	fmt.Printf("page sharing:      1SM %.2f | 2-10 %.2f | 11-25 %.2f | >25 %.2f (%d pages)\n",
+		one, two, eleven, over, res.Sharing.Pages())
+	fmt.Printf("energy (mJ):       NoC %.3f | DRAM %.3f | core %.3f | LLC %.3f | static %.3f\n",
+		res.Energy.NoCNJ/1e6, res.Energy.DRAMNJ/1e6, res.Energy.CoreNJ/1e6,
+		res.Energy.LLCNJ/1e6, res.Energy.StaticNJ/1e6)
+	fmt.Printf("NoC power:         %.2f W\n", energy.NoCPowerW(res.Energy, st.Cycles, cfg.CoreClockGHz))
+	if st.MDRDecisions > 0 {
+		fmt.Printf("MDR epochs:        %d (%d replicating)\n", st.MDRDecisions, st.MDREpochsReplicating)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

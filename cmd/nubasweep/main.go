@@ -1,0 +1,74 @@
+// Command nubasweep runs one named reproduction experiment (a paper table
+// or figure) and prints its report.
+//
+// Usage:
+//
+//	nubasweep -exp fig7 [-bench SGEMM,BICG] [-scale 0.5] [-v]
+//	nubasweep -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/nuba-gpu/nuba/internal/experiments"
+	"github.com/nuba-gpu/nuba/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment name (see -list)")
+	benchList := flag.String("bench", "", "comma-separated benchmark abbreviations (default: full suite)")
+	scale := flag.Float64("scale", 1, "GPU scale factor (1 = 64-SM baseline)")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	list := flag.Bool("list", false, "list experiments and benchmarks")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-16s %s\n", e.Name, e.Title)
+		}
+		fmt.Println("benchmarks:")
+		for _, b := range workload.Suite() {
+			cls := "low"
+			if b.High {
+				cls = "high"
+			}
+			fmt.Printf("  %-8s %-28s %s-sharing\n", b.Abbr, b.Name, cls)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "nubasweep: -exp required (or -list)")
+		os.Exit(2)
+	}
+	opts := experiments.Options{Scale: *scale}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+	if *benchList != "" {
+		for _, abbr := range strings.Split(*benchList, ",") {
+			b, err := workload.ByAbbr(strings.TrimSpace(abbr))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nubasweep:", err)
+				os.Exit(2)
+			}
+			opts.Benchmarks = append(opts.Benchmarks, b)
+		}
+	}
+	e, err := experiments.ByName(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nubasweep:", err)
+		os.Exit(2)
+	}
+	r := experiments.NewRunner(opts)
+	fmt.Printf("== %s ==\n", e.Title)
+	report, err := e.Run(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nubasweep:", err)
+		os.Exit(1)
+	}
+	fmt.Print(report)
+}

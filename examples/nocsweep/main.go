@@ -1,0 +1,57 @@
+// Nocsweep reproduces the Figure 10 trade-off on a small benchmark set:
+// sweep the NoC bandwidth for UBA and NUBA and print the performance /
+// NoC-power frontier. The headline: NUBA with a 700 GB/s NoC matches (or
+// beats) UBA with far more NoC bandwidth, at a fraction of the power.
+//
+//	go run ./examples/nocsweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/nuba-gpu/nuba"
+	"github.com/nuba-gpu/nuba/internal/energy"
+)
+
+func main() {
+	benches := []string{"LBM", "SGEMM", "AN"}
+	fmt.Println("arch      NoC GB/s   geomean speedup vs UBA@1400   NoC power (W)")
+
+	// Baseline runs.
+	base := map[string]int64{}
+	for _, abbr := range benches {
+		b, err := nuba.BenchmarkByAbbr(abbr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := nuba.Run(nuba.Baseline().Scale(0.5), b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base[abbr] = res.Stats.Cycles
+	}
+
+	for _, arch := range []string{"UBA", "NUBA"} {
+		for _, gbs := range []float64{700, 1400, 2800} {
+			cfg := nuba.Baseline()
+			if arch == "NUBA" {
+				cfg = nuba.NUBAConfig()
+			}
+			cfg = cfg.WithNoC(gbs).Scale(0.5)
+			prod, power := 1.0, 0.0
+			for _, abbr := range benches {
+				b, _ := nuba.BenchmarkByAbbr(abbr)
+				res, err := nuba.Run(cfg, b)
+				if err != nil {
+					log.Fatal(err)
+				}
+				prod *= float64(base[abbr]) / float64(res.Stats.Cycles)
+				power += energy.NoCPowerW(res.Energy, res.Stats.Cycles, cfg.CoreClockGHz)
+			}
+			speedup := math.Pow(prod, 1.0/float64(len(benches)))
+			fmt.Printf("%-8s  %-8.0f   %-27.2f   %.2f\n", arch, gbs, speedup, power/float64(len(benches)))
+		}
+	}
+}

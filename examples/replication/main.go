@@ -1,0 +1,62 @@
+// Replication demonstrates Section 5: Model-Driven Replication (MDR)
+// against never replicating and always replicating, on a workload where
+// replication pays (SGEMM's small lockstep panel window) and one where it
+// thrashes the LLC (B+tree's 12 MB random-access tree). MDR's analytical
+// model should pick the right answer in both cases.
+//
+//	go run ./examples/replication
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/nuba-gpu/nuba"
+)
+
+func main() {
+	for _, abbr := range []string{"SGEMM", "BT"} {
+		bench, err := nuba.BenchmarkByAbbr(abbr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", bench.Name)
+		var noRepCycles int64
+		for _, rep := range []struct {
+			name   string
+			policy nuba.ReplicationPolicy
+		}{
+			{"No-Rep", nuba.NoRep},
+			{"Full-Rep", nuba.FullRep},
+			{"MDR", nuba.MDR},
+		} {
+			cfg := nuba.NUBAConfig().Scale(0.5)
+			cfg.Replication = rep.policy
+			res, err := nuba.Run(cfg, bench)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if noRepCycles == 0 {
+				noRepCycles = res.Stats.Cycles
+			}
+			st := res.Stats
+			extra := ""
+			if st.MDRDecisions > 0 {
+				extra = fmt.Sprintf("  (MDR: %d/%d epochs replicating)",
+					st.MDREpochsReplicating, st.MDRDecisions)
+			}
+			fmt.Printf("  %-9s cycles=%-9d llcHit=%.2f replicated=%.2f  vs No-Rep %+.1f%%%s\n",
+				rep.name, st.Cycles, st.LLCHitRate(),
+				float64(st.ReplicatedAccesses)/float64(max64(1, st.LocalAccesses+st.RemoteAccesses)),
+				(float64(noRepCycles)/float64(st.Cycles)-1)*100, extra)
+		}
+		fmt.Println()
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module github.com/nuba-gpu/nuba
+
+go 1.22

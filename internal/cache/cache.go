@@ -1,0 +1,239 @@
+// Package cache implements the set-associative cache model shared by the
+// per-SM L1 data caches, the LLC slices and the MDR shadow-tag samplers:
+// LRU replacement, configurable write policy (write-through/write-no-
+// allocate for L1, write-back/write-allocate for the LLC) and a Miss
+// Status Holding Register (MSHR) file for merging outstanding misses.
+package cache
+
+import (
+	"github.com/nuba-gpu/nuba/internal/sim"
+)
+
+// Policy selects the write behaviour of a cache.
+type Policy int
+
+// Write policies.
+const (
+	// WriteThrough with write-no-allocate: stores bypass the cache
+	// (invalidating a matching line) and propagate downstream. This is
+	// the GPU L1 policy assumed by the paper's software coherence.
+	WriteThrough Policy = iota
+	// WriteBack with write-allocate: stores allocate and dirty lines;
+	// evictions of dirty lines produce writebacks. The LLC policy.
+	WriteBack
+)
+
+type line struct {
+	tag     uint64 // line address (addr >> lineShift)
+	valid   bool
+	dirty   bool
+	replica bool // holds a replicated copy of a remote line (NUBA/MDR)
+	lastUse int64
+}
+
+// Cache is a single-ported set-associative cache. It tracks only tags and
+// metadata — the simulator never models data contents.
+type Cache struct {
+	sets      int
+	ways      int
+	lineShift uint
+	policy    Policy
+	lines     []line
+
+	// Accesses, Hits, Misses, Evictions and Writebacks are cumulative
+	// counters maintained by Access/Insert.
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64
+}
+
+// New returns a cache with the given geometry. Sets and ways must be
+// positive; the line size is the global 128 B.
+func New(sets, ways int, policy Policy) *Cache {
+	if sets <= 0 || ways <= 0 {
+		panic("cache: sets and ways must be positive")
+	}
+	c := &Cache{sets: sets, ways: ways, policy: policy}
+	c.lines = make([]line, sets*ways)
+	for s := sim.LineSize; s > 1; s >>= 1 {
+		c.lineShift++
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// LineAddr returns the line-aligned address of addr.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift << c.lineShift }
+
+// SetIndex returns the set addr maps to.
+func (c *Cache) SetIndex(addr uint64) int {
+	return int((addr >> c.lineShift) % uint64(c.sets))
+}
+
+func (c *Cache) set(addr uint64) []line {
+	i := c.SetIndex(addr) * c.ways
+	return c.lines[i : i+c.ways]
+}
+
+// Access performs a lookup for a read (write=false) or a write
+// (write=true) at cycle now and reports whether it hit. On a write:
+//   - WriteThrough caches invalidate a matching line (write-no-allocate)
+//     and always report a miss in the sense that the store must propagate;
+//     the returned hit only reflects tag presence before invalidation.
+//   - WriteBack caches mark a hit line dirty.
+//
+// Access never allocates; use Insert when the fill returns.
+func (c *Cache) Access(addr uint64, write bool, now int64) (hit bool) {
+	c.Accesses++
+	tag := addr >> c.lineShift
+	set := c.set(addr)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			c.Hits++
+			if write {
+				if c.policy == WriteThrough {
+					l.valid = false // write-no-allocate: drop stale copy
+				} else {
+					l.dirty = true
+					l.lastUse = now
+				}
+			} else {
+				l.lastUse = now
+			}
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Probe reports whether addr is present without touching LRU state or
+// counters. Used by coherence checks and tests.
+func (c *Cache) Probe(addr uint64) bool {
+	tag := addr >> c.lineShift
+	for _, l := range c.set(addr) {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the line containing addr, evicting the LRU way if needed.
+// dirty marks the fill as modified (write-allocate); replica marks it as a
+// replicated remote line. It returns the evicted line address and whether
+// that eviction requires a writeback.
+func (c *Cache) Insert(addr uint64, dirty, replica bool, now int64) (victim uint64, writeback bool) {
+	tag := addr >> c.lineShift
+	set := c.set(addr)
+	// Refill of a line that raced in already: just update.
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			l.dirty = l.dirty || dirty
+			l.replica = replica
+			l.lastUse = now
+			return 0, false
+		}
+	}
+	vi := 0
+	for i := range set {
+		l := &set[i]
+		if !l.valid {
+			vi = i
+			break
+		}
+		if l.lastUse < set[vi].lastUse {
+			vi = i
+		}
+	}
+	v := &set[vi]
+	if v.valid {
+		c.Evictions++
+		victim = v.tag << c.lineShift
+		if v.dirty && c.policy == WriteBack {
+			c.Writebacks++
+			writeback = true
+		}
+	}
+	*v = line{tag: tag, valid: true, dirty: dirty, replica: replica, lastUse: now}
+	return victim, writeback
+}
+
+// Invalidate drops the line containing addr if present and reports whether
+// it was found; wasDirty additionally reports whether it held dirty data.
+func (c *Cache) Invalidate(addr uint64) (found, wasDirty bool) {
+	tag := addr >> c.lineShift
+	set := c.set(addr)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			l.valid = false
+			return true, l.dirty
+		}
+	}
+	return false, false
+}
+
+// InvalidateAll flushes the whole cache (the software-coherence flush at
+// synchronization and kernel boundaries) and returns the dirty line
+// addresses that a write-back cache must write downstream.
+func (c *Cache) InvalidateAll() (dirtyLines []uint64) {
+	for i := range c.lines {
+		l := &c.lines[i]
+		if l.valid {
+			if l.dirty && c.policy == WriteBack {
+				dirtyLines = append(dirtyLines, l.tag<<c.lineShift)
+			}
+			l.valid = false
+		}
+	}
+	return dirtyLines
+}
+
+// InvalidateReplicas drops all replica lines (used when MDR turns
+// replication off or at kernel boundaries) and returns how many were
+// dropped. Replicas are read-only by construction so no writebacks occur.
+func (c *Cache) InvalidateReplicas() int {
+	n := 0
+	for i := range c.lines {
+		l := &c.lines[i]
+		if l.valid && l.replica {
+			l.valid = false
+			n++
+		}
+	}
+	return n
+}
+
+// Occupancy returns the fraction of valid lines.
+func (c *Cache) Occupancy() float64 {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.lines))
+}
+
+// HitRate returns hits per access since construction.
+func (c *Cache) HitRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Accesses)
+}
+
+// ResetStats zeroes the cumulative counters (epoch boundaries).
+func (c *Cache) ResetStats() {
+	c.Accesses, c.Hits, c.Misses, c.Evictions, c.Writebacks = 0, 0, 0, 0, 0
+}

@@ -1,0 +1,550 @@
+// Package config defines the simulated GPU configurations. The Baseline
+// configuration reproduces Table 1 of the NUBA paper: 64 SMs at 1.4 GHz,
+// 64 LLC slices (6 MB total), 32 HBM channels (720 GB/s), a 1.4 TB/s
+// hierarchical crossbar NoC and, for NUBA, 2.8 TB/s aggregate point-to-point
+// links between SMs and their local LLC slices.
+package config
+
+import (
+	"fmt"
+
+	"github.com/nuba-gpu/nuba/internal/sim"
+)
+
+// Arch selects the GPU system architecture being simulated (Figure 1).
+type Arch int
+
+// Architectures evaluated in the paper.
+const (
+	// UBAMem is the conventional memory-side Uniform Bandwidth
+	// Architecture: a crossbar between all L1s and all LLC slices, each
+	// slice caching a fixed slice of the physical address space.
+	UBAMem Arch = iota
+	// UBASMSide is the SM-side UBA (as in NVIDIA's A100): two LLC
+	// partitions whose slices cache any address, kept consistent by
+	// cross-partition invalidations.
+	UBASMSide
+	// NUBA is the proposed Non-Uniform Bandwidth Architecture:
+	// partitions of SMs + LLC slices + one memory controller with wide
+	// local point-to-point links and an inter-partition crossbar.
+	NUBA
+)
+
+// String returns the architecture name used in result tables.
+func (a Arch) String() string {
+	switch a {
+	case UBAMem:
+		return "UBA-mem"
+	case UBASMSide:
+		return "UBA-SM"
+	case NUBA:
+		return "NUBA"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// AddressMapping selects the physical address mapping policy.
+type AddressMapping int
+
+// Address mapping policies (Section 2).
+const (
+	// FixedChannel keeps channel bits outside the page offset and copies
+	// them verbatim so the driver controls page placement; bank bits are
+	// randomized by harvesting entropy from row bits (Figure 2).
+	FixedChannel AddressMapping = iota
+	// PAE additionally randomizes the channel bits (Liu et al., ISCA'18).
+	// PAE defeats driver-controlled placement and is evaluated only for
+	// UBA in the sensitivity analysis.
+	PAE
+)
+
+// String returns the mapping name.
+func (m AddressMapping) String() string {
+	if m == PAE {
+		return "PAE"
+	}
+	return "fixed-channel"
+}
+
+// PlacementPolicy selects the driver's page placement policy (Section 4).
+type PlacementPolicy int
+
+// Page placement policies.
+const (
+	// FirstTouch places a page in the partition of the first SM to
+	// touch it.
+	FirstTouch PlacementPolicy = iota
+	// RoundRobin distributes pages evenly across channels.
+	RoundRobin
+	// LAB is Local-And-Balanced: first-touch while the normalized page
+	// balance is above the threshold, least-first otherwise.
+	LAB
+	// Migration is the §7.6 alternative: access-count-driven page
+	// migration between partitions at fixed intervals.
+	Migration
+	// PageReplication is the §7.6 alternative: page-granularity
+	// replication into reader partitions when memory is free.
+	PageReplication
+)
+
+// String returns the policy name used in result tables.
+func (p PlacementPolicy) String() string {
+	switch p {
+	case FirstTouch:
+		return "first-touch"
+	case RoundRobin:
+		return "round-robin"
+	case LAB:
+		return "LAB"
+	case Migration:
+		return "migration"
+	case PageReplication:
+		return "page-replication"
+	default:
+		return fmt.Sprintf("PlacementPolicy(%d)", int(p))
+	}
+}
+
+// ReplicationPolicy selects the cache-line replication policy (Section 5).
+type ReplicationPolicy int
+
+// Replication policies.
+const (
+	// NoRep never replicates: remote read-only data stays remote.
+	NoRep ReplicationPolicy = iota
+	// FullRep always replicates read-only shared lines locally.
+	FullRep
+	// MDR replicates only when the analytical bandwidth model predicts
+	// a net gain, re-evaluated every epoch.
+	MDR
+)
+
+// String returns the policy name used in result tables.
+func (r ReplicationPolicy) String() string {
+	switch r {
+	case NoRep:
+		return "No-Rep"
+	case FullRep:
+		return "Full-Rep"
+	case MDR:
+		return "MDR"
+	default:
+		return fmt.Sprintf("ReplicationPolicy(%d)", int(r))
+	}
+}
+
+// HBMTiming holds the DRAM timing parameters of Table 1 in memory-clock
+// cycles (350 MHz).
+type HBMTiming struct {
+	TRC   int // ACT to ACT, same bank
+	TRCD  int // ACT to CAS
+	TRP   int // PRE to ACT
+	TCL   int // CAS to data
+	TWL   int // write CAS to data
+	TRAS  int // ACT to PRE
+	TRRDL int // ACT to ACT, same bank group
+	TRRDS int // ACT to ACT, different bank group
+	TFAW  int // four-activate window
+	TRTP  int // READ to PRE
+	TCCDL int // CAS to CAS, same bank group
+	TCCDS int // CAS to CAS, different bank group
+	TWTRL int // write to read, same bank group
+	TWTRS int // write to read, different bank group
+	TWR   int // write recovery
+}
+
+// DefaultHBMTiming returns the Table 1 HBM timing.
+func DefaultHBMTiming() HBMTiming {
+	return HBMTiming{
+		TRC: 24, TRCD: 7, TRP: 7, TCL: 7, TWL: 2, TRAS: 17,
+		TRRDL: 5, TRRDS: 4, TFAW: 20, TRTP: 7,
+		TCCDL: 1, TCCDS: 1, TWTRL: 4, TWTRS: 2, TWR: 8,
+	}
+}
+
+// Config is a complete description of one simulated GPU system. Zero
+// values are not meaningful; start from Baseline() and adjust.
+type Config struct {
+	Arch Arch
+	Seed uint64
+
+	// Core clock in GHz; the memory clock is CoreClockGHz/MemClockDiv.
+	CoreClockGHz float64
+	MemClockDiv  int
+
+	// SM organization.
+	NumSMs          int
+	WarpsPerSM      int
+	WarpSize        int
+	SchedulersPerSM int // dual GTO schedulers in the baseline
+	MaxCTAsPerSM    int
+
+	// L1 data cache (per SM): write-through, write-no-allocate.
+	L1Bytes      int
+	L1Ways       int
+	L1MSHRs      int
+	L1Latency    sim.Cycle
+	L1TLBEntries int
+	L1TLBLatency sim.Cycle
+
+	// Shared L2 TLB and page walking.
+	L2TLBEntries     int
+	L2TLBWays        int
+	L2TLBLatency     sim.Cycle
+	L2TLBPorts       int
+	PageWalkers      int
+	PageWalkLatency  sim.Cycle // latency of a page table walk that hits in memory
+	PageFaultLatency sim.Cycle // fixed 20 us first-touch fault penalty
+	PageSize         uint64
+
+	// LLC organization: NumLLCSlices slices of LLCSliceBytes each.
+	NumLLCSlices  int
+	LLCSliceBytes int
+	LLCWays       int
+	LLCLatency    sim.Cycle
+	LLCMSHRs      int
+	// LLCQueue is the nominal LMR/RMR queue depth. The slice model uses
+	// elastic queues for deadlock freedom (see internal/llc), so this is
+	// retained for documentation and future credit-based modeling.
+	LLCQueue int
+
+	// Partitioning (NUBA): NumChannels partitions, each with
+	// SMsPerPartition SMs and SlicesPerPartition LLC slices.
+	SMsPerPartition    int
+	SlicesPerPartition int
+
+	// Memory system.
+	NumChannels   int
+	BanksPerChan  int
+	MemQueueDepth int
+	Timing        HBMTiming
+	// MemBusBytesPerMemCycle is the per-channel data bus width per
+	// memory-clock cycle: 64 B gives 32 ch × 64 B × 350 MHz ≈ 720 GB/s.
+	MemBusBytesPerMemCycle int
+
+	// NoC: the inter-partition network.
+	NoCBandwidthGBs float64   // aggregate injection bandwidth
+	NoCLatency      sim.Cycle // hierarchical crossbar traversal (two 4-cycle stages)
+	NoCPortBuffer   int
+
+	// NUBA point-to-point links between SMs and local LLC slices.
+	LocalLinkBytes   int // bytes per cycle per link (32 B ≈ 2.8 TB/s aggregate)
+	LocalLinkLatency sim.Cycle
+	LocalLinkBuffer  int
+
+	// Policies.
+	AddressMap    AddressMapping
+	Placement     PlacementPolicy
+	LABThreshold  float64
+	Replication   ReplicationPolicy
+	MDREpoch      sim.Cycle
+	MDREvalDelay  sim.Cycle // 116-cycle hardware model evaluation
+	MDRSampleSets int       // dynamic set sampling: 8 sets per slice
+
+	// Migration/PageReplication knobs (§7.6 alternatives).
+	MigrationInterval  sim.Cycle
+	MigrationThreshold int
+
+	// MCM configuration (Figure 15/16). When NumModules > 1, the
+	// crossbar is split per module and inter-module traffic uses links of
+	// InterModuleGBs bidirectional bandwidth per module.
+	NumModules     int
+	InterModuleGBs float64
+
+	// ColdStart disables the placement prewarm: every first touch then
+	// pays the full demand-fault penalty during the timed run. The
+	// default (false) models the paper's representative mid-execution
+	// window, where the working set was faulted in and placed during
+	// warmup (see internal/core/prewarm.go).
+	ColdStart bool
+
+	// MaxCycles aborts a run that fails to drain (safety net).
+	MaxCycles int64
+}
+
+// Baseline returns the Table 1 memory-side UBA GPU: 64 SMs, 64 LLC slices,
+// 32 channels, 1.4 TB/s NoC, fixed-channel address mapping. UBA uses
+// round-robin page placement: with the fixed-channel map, spreading pages
+// evenly is the best a UBA driver can do (first-touch-style placement
+// would concentrate each SM's traffic on one channel's slices).
+func Baseline() Config {
+	return Config{
+		Arch:         UBAMem,
+		Seed:         1,
+		CoreClockGHz: 1.4,
+		MemClockDiv:  4,
+
+		NumSMs:          64,
+		WarpsPerSM:      64,
+		WarpSize:        32,
+		SchedulersPerSM: 2,
+		MaxCTAsPerSM:    32,
+
+		L1Bytes:      48 * 1024,
+		L1Ways:       6,
+		L1MSHRs:      128,
+		L1Latency:    1,
+		L1TLBEntries: 128,
+		L1TLBLatency: 1,
+
+		L2TLBEntries:     512,
+		L2TLBWays:        16,
+		L2TLBLatency:     10,
+		L2TLBPorts:       2,
+		PageWalkers:      64,
+		PageWalkLatency:  200,
+		PageFaultLatency: 28000, // 20 us at 1.4 GHz
+		PageSize:         4096,
+
+		NumLLCSlices:  64,
+		LLCSliceBytes: 96 * 1024, // 64 slices * 96 KB = 6 MB
+		LLCWays:       16,
+		LLCLatency:    120,
+		LLCMSHRs:      128,
+		LLCQueue:      32,
+
+		SMsPerPartition:    2,
+		SlicesPerPartition: 2,
+
+		NumChannels:            32,
+		BanksPerChan:           16,
+		MemQueueDepth:          64,
+		Timing:                 DefaultHBMTiming(),
+		MemBusBytesPerMemCycle: 64,
+
+		NoCBandwidthGBs: 1400,
+		NoCLatency:      8,
+		NoCPortBuffer:   32,
+
+		LocalLinkBytes:   32,
+		LocalLinkLatency: 1,
+		LocalLinkBuffer:  8,
+
+		AddressMap:    FixedChannel,
+		Placement:     RoundRobin,
+		LABThreshold:  0.9,
+		Replication:   NoRep,
+		MDREpoch:      20000,
+		MDREvalDelay:  116,
+		MDRSampleSets: 8,
+
+		MigrationInterval:  50000,
+		MigrationThreshold: 64,
+
+		NumModules:     1,
+		InterModuleGBs: 0,
+
+		MaxCycles: 80_000_000,
+	}
+}
+
+// NUBABaseline returns the paper's performance-optimized NUBA GPU:
+// the Baseline resources rearranged into 32 partitions of {2 SMs, 2 LLC
+// slices, 1 channel} with LAB placement and MDR replication.
+func NUBABaseline() Config {
+	c := Baseline()
+	c.Arch = NUBA
+	c.Placement = LAB
+	c.Replication = MDR
+	return c
+}
+
+// SMSideBaseline returns the SM-side UBA configuration (two LLC
+// partitions of 32 slices each, as in the A100).
+func SMSideBaseline() Config {
+	c := Baseline()
+	c.Arch = UBASMSide
+	return c
+}
+
+// WithArch returns a copy of c with the architecture (and the
+// architecture-appropriate default policies) switched.
+func (c Config) WithArch(a Arch) Config {
+	c.Arch = a
+	if a == NUBA {
+		c.Placement = LAB
+		c.Replication = MDR
+	} else {
+		c.Placement = RoundRobin
+		c.Replication = NoRep
+	}
+	return c
+}
+
+// WithNoC returns a copy of c with the aggregate NoC bandwidth replaced
+// (700, 1400, 2800 or 5600 GB/s in Figure 10).
+func (c Config) WithNoC(gbs float64) Config {
+	c.NoCBandwidthGBs = gbs
+	return c
+}
+
+// Scale returns a copy of c with compute, LLC slice count and memory
+// channels scaled by factor, keeping the 2:2:1 SM:slice:channel ratio and
+// per-slice capacity constant, as in the Figure 14 GPU-size sweep. factor
+// must make all counts integral (0.5, 1, 2 for the baseline).
+func (c Config) Scale(factor float64) Config {
+	c.NumSMs = int(float64(c.NumSMs) * factor)
+	c.NumLLCSlices = int(float64(c.NumLLCSlices) * factor)
+	c.NumChannels = int(float64(c.NumChannels) * factor)
+	c.NoCBandwidthGBs *= factor
+	return c
+}
+
+// WithPartition returns a copy of c with the number of LLC slices per
+// partition changed while keeping the total LLC capacity constant (the
+// Figure 14 partition-ratio sweep: 1, 2 or 4 slices per channel).
+func (c Config) WithPartition(slicesPerChannel int) Config {
+	total := c.NumLLCSlices * c.LLCSliceBytes
+	c.SlicesPerPartition = slicesPerChannel
+	c.NumLLCSlices = c.NumChannels * slicesPerChannel
+	c.LLCSliceBytes = total / c.NumLLCSlices
+	return c
+}
+
+// WithLLCCapacity returns a copy of c with total LLC capacity scaled by
+// factor at a constant slice count.
+func (c Config) WithLLCCapacity(factor float64) Config {
+	c.LLCSliceBytes = int(float64(c.LLCSliceBytes) * factor)
+	return c
+}
+
+// MCM returns the Figure 16 multi-chip-module configuration: the 2x-scaled
+// GPU (128 SMs, 128 slices, 64 channels) split across four modules with
+// 720 GB/s bidirectional inter-module links.
+func MCM(a Arch) Config {
+	c := Baseline().Scale(2).WithArch(a)
+	c.NumModules = 4
+	c.InterModuleGBs = 720
+	if a == NUBA {
+		c.Placement = LAB
+		c.Replication = MDR
+	}
+	return c
+}
+
+// Derived topology helpers.
+
+// NumPartitions returns the number of NUBA partitions (= memory channels).
+func (c *Config) NumPartitions() int { return c.NumChannels }
+
+// PartitionOfSM returns the partition that SM sm belongs to.
+func (c *Config) PartitionOfSM(sm int) int {
+	return sm / c.SMsPerPartitionActual()
+}
+
+// PartitionOfSlice returns the partition that LLC slice s belongs to.
+func (c *Config) PartitionOfSlice(s int) int {
+	return s / c.SlicesPerPartitionActual()
+}
+
+// SMsPerPartitionActual returns NumSMs / NumPartitions.
+func (c *Config) SMsPerPartitionActual() int { return c.NumSMs / c.NumPartitions() }
+
+// SlicesPerPartitionActual returns NumLLCSlices / NumPartitions.
+func (c *Config) SlicesPerPartitionActual() int { return c.NumLLCSlices / c.NumPartitions() }
+
+// ModuleOfSM returns the MCM module an SM belongs to (0 when monolithic).
+func (c *Config) ModuleOfSM(sm int) int {
+	if c.NumModules <= 1 {
+		return 0
+	}
+	return sm / (c.NumSMs / c.NumModules)
+}
+
+// ModuleOfChannel returns the MCM module a memory channel belongs to.
+func (c *Config) ModuleOfChannel(ch int) int {
+	if c.NumModules <= 1 {
+		return 0
+	}
+	return ch / (c.NumChannels / c.NumModules)
+}
+
+// ModuleOfSlice returns the MCM module an LLC slice belongs to.
+func (c *Config) ModuleOfSlice(s int) int {
+	return c.ModuleOfChannel(c.PartitionOfSlice(s))
+}
+
+// NoCPortBytes returns the per-port link width in bytes per cycle implied
+// by the aggregate NoC bandwidth: width = BW / clock / ports, with one
+// port per LLC slice (the narrow side of the crossbar). The baseline
+// 1.4 TB/s over 64 ports at 1.4 GHz gives 16 B per cycle per port.
+func (c *Config) NoCPortBytes() int {
+	ports := c.NumLLCSlices
+	if ports == 0 {
+		return 1
+	}
+	w := c.NoCBandwidthGBs / (c.CoreClockGHz * float64(ports))
+	if w < 1 {
+		return 1
+	}
+	// The paper's nominal bandwidths (700 GB/s ... 5.6 TB/s) correspond
+	// to power-of-two link widths (8 B ... 64 B) at 1.4 GHz; snap to a
+	// power of two when within 15% so marketing-rounded numbers yield
+	// clean hardware widths.
+	for p := 1; p <= 512; p <<= 1 {
+		f := w / float64(p)
+		if f > 0.85 && f < 1.15 {
+			return p
+		}
+	}
+	return int(w + 0.5)
+}
+
+// InterModuleBytes returns the per-direction inter-module link width in
+// bytes per cycle for MCM configurations.
+func (c *Config) InterModuleBytes() int {
+	if c.NumModules <= 1 || c.InterModuleGBs <= 0 {
+		return 0
+	}
+	w := c.InterModuleGBs / (2 * c.CoreClockGHz) // bidirectional: half each way
+	if w < 1 {
+		return 1
+	}
+	return int(w + 0.5)
+}
+
+// LLCSets returns the number of sets per LLC slice.
+func (c *Config) LLCSets() int { return c.LLCSliceBytes / (c.LLCWays * sim.LineSize) }
+
+// L1Sets returns the number of sets per L1 cache.
+func (c *Config) L1Sets() int { return c.L1Bytes / (c.L1Ways * sim.LineSize) }
+
+// Validate checks structural invariants and returns a descriptive error
+// for the first violation found.
+func (c *Config) Validate() error {
+	switch {
+	case c.NumSMs <= 0 || c.NumLLCSlices <= 0 || c.NumChannels <= 0:
+		return fmt.Errorf("config: SMs/slices/channels must be positive (%d/%d/%d)",
+			c.NumSMs, c.NumLLCSlices, c.NumChannels)
+	case c.NumSMs%c.NumChannels != 0:
+		return fmt.Errorf("config: %d SMs not divisible across %d partitions", c.NumSMs, c.NumChannels)
+	case c.NumLLCSlices%c.NumChannels != 0:
+		return fmt.Errorf("config: %d LLC slices not divisible across %d partitions", c.NumLLCSlices, c.NumChannels)
+	case c.PageSize == 0 || c.PageSize&(c.PageSize-1) != 0:
+		return fmt.Errorf("config: page size %d is not a power of two", c.PageSize)
+	case c.L1Sets() <= 0 || c.LLCSets() <= 0:
+		return fmt.Errorf("config: cache geometry yields no sets (L1 %d, LLC %d)", c.L1Sets(), c.LLCSets())
+	case c.WarpSize <= 0 || c.WarpsPerSM <= 0:
+		return fmt.Errorf("config: warp geometry invalid (%d warps of %d)", c.WarpsPerSM, c.WarpSize)
+	case c.MemClockDiv <= 0:
+		return fmt.Errorf("config: MemClockDiv must be positive")
+	case c.Arch == UBASMSide && c.NumLLCSlices < 2:
+		return fmt.Errorf("config: SM-side UBA needs at least 2 slices")
+	case c.NumModules > 1 && c.NumSMs%c.NumModules != 0:
+		return fmt.Errorf("config: %d SMs not divisible across %d modules", c.NumSMs, c.NumModules)
+	case c.LABThreshold <= 0 || c.LABThreshold > 1:
+		return fmt.Errorf("config: LAB threshold %.2f out of (0,1]", c.LABThreshold)
+	}
+	return nil
+}
+
+// Name returns a short identifier for result tables, e.g.
+// "NUBA/LAB/MDR/1400GBs".
+func (c *Config) Name() string {
+	s := c.Arch.String()
+	if c.Arch == NUBA {
+		s += "/" + c.Placement.String() + "/" + c.Replication.String()
+	}
+	return fmt.Sprintf("%s/%.0fGBs", s, c.NoCBandwidthGBs)
+}

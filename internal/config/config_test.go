@@ -1,0 +1,163 @@
+package config
+
+import "testing"
+
+func TestBaselineMatchesTable1(t *testing.T) {
+	c := Baseline()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The Table 1 headline numbers.
+	if c.NumSMs != 64 || c.NumLLCSlices != 64 || c.NumChannels != 32 {
+		t.Fatal("SM/slice/channel counts wrong")
+	}
+	if c.WarpsPerSM != 64 || c.WarpSize != 32 || c.SchedulersPerSM != 2 {
+		t.Fatal("SM geometry wrong")
+	}
+	if c.L1Bytes != 48*1024 || c.L1Ways != 6 || c.L1Sets() != 64 || c.L1MSHRs != 128 {
+		t.Fatal("L1 geometry wrong")
+	}
+	if c.NumLLCSlices*c.LLCSliceBytes != 6*1024*1024 || c.LLCWays != 16 || c.LLCSets() != 48 {
+		t.Fatal("LLC geometry wrong")
+	}
+	if c.L1TLBEntries != 128 || c.L2TLBEntries != 512 || c.L2TLBWays != 16 ||
+		c.L2TLBLatency != 10 || c.PageWalkers != 64 {
+		t.Fatal("TLB setup wrong")
+	}
+	if c.PageSize != 4096 || c.PageFaultLatency != 28000 {
+		t.Fatal("paging setup wrong (20us at 1.4GHz = 28000 cycles)")
+	}
+	if c.NoCBandwidthGBs != 1400 || c.NoCPortBytes() != 16 {
+		t.Fatal("NoC setup wrong")
+	}
+	ht := c.Timing
+	if ht.TRC != 24 || ht.TRCD != 7 || ht.TCL != 7 || ht.TFAW != 20 || ht.TRAS != 17 {
+		t.Fatal("HBM timing wrong")
+	}
+	// 32 channels x 64 B x 350 MHz = 716.8 GB/s ~ 720 GB/s.
+	gbps := float64(c.NumChannels) * float64(c.MemBusBytesPerMemCycle) * c.CoreClockGHz / float64(c.MemClockDiv)
+	if gbps < 700 || gbps > 740 {
+		t.Fatalf("memory bandwidth %.0f GB/s", gbps)
+	}
+}
+
+func TestPartitionTopology(t *testing.T) {
+	c := Baseline()
+	if c.NumPartitions() != 32 || c.SMsPerPartitionActual() != 2 || c.SlicesPerPartitionActual() != 2 {
+		t.Fatal("2:2:1 ratio broken")
+	}
+	if c.PartitionOfSM(0) != 0 || c.PartitionOfSM(63) != 31 {
+		t.Fatal("SM partition map wrong")
+	}
+	if c.PartitionOfSlice(0) != 0 || c.PartitionOfSlice(63) != 31 {
+		t.Fatal("slice partition map wrong")
+	}
+}
+
+func TestNoCPortBytesVariants(t *testing.T) {
+	c := Baseline()
+	for _, tc := range []struct {
+		gbs  float64
+		want int
+	}{{700, 8}, {1400, 16}, {2800, 32}, {5600, 64}} {
+		v := c.WithNoC(tc.gbs)
+		if got := v.NoCPortBytes(); got != tc.want {
+			t.Errorf("NoC %.0f GB/s -> width %d, want %d", tc.gbs, got, tc.want)
+		}
+	}
+}
+
+func TestScalePreservesRatios(t *testing.T) {
+	for _, f := range []float64{0.5, 2} {
+		c := Baseline().Scale(f)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("scale %v: %v", f, err)
+		}
+		if c.SMsPerPartitionActual() != 2 || c.SlicesPerPartitionActual() != 2 {
+			t.Fatalf("scale %v broke the 2:2:1 ratio", f)
+		}
+		if c.NoCPortBytes() != 16 {
+			t.Fatalf("scale %v changed per-port NoC width to %d", f, c.NoCPortBytes())
+		}
+	}
+}
+
+func TestWithPartitionPreservesCapacity(t *testing.T) {
+	base := Baseline()
+	total := base.NumLLCSlices * base.LLCSliceBytes
+	for _, spp := range []int{1, 2, 4} {
+		c := base.WithPartition(spp)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("spp %d: %v", spp, err)
+		}
+		if c.NumLLCSlices*c.LLCSliceBytes != total {
+			t.Fatalf("spp %d changed LLC capacity", spp)
+		}
+		if c.SlicesPerPartitionActual() != spp {
+			t.Fatalf("spp %d not applied", spp)
+		}
+	}
+}
+
+func TestMCMConfig(t *testing.T) {
+	c := MCM(NUBA)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumSMs != 128 || c.NumModules != 4 || c.InterModuleGBs != 720 {
+		t.Fatal("MCM geometry wrong")
+	}
+	if c.ModuleOfSM(0) != 0 || c.ModuleOfSM(127) != 3 || c.ModuleOfChannel(63) != 3 {
+		t.Fatal("module maps wrong")
+	}
+	if c.InterModuleBytes() <= 0 {
+		t.Fatal("inter-module width zero")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mk := func(mut func(*Config)) Config {
+		c := Baseline()
+		mut(&c)
+		return c
+	}
+	bad := []Config{
+		mk(func(c *Config) { c.NumSMs = 0 }),
+		mk(func(c *Config) { c.NumSMs = 63 }),
+		mk(func(c *Config) { c.NumLLCSlices = 33 }),
+		mk(func(c *Config) { c.PageSize = 3000 }),
+		mk(func(c *Config) { c.WarpSize = 0 }),
+		mk(func(c *Config) { c.MemClockDiv = 0 }),
+		mk(func(c *Config) { c.LABThreshold = 0 }),
+		mk(func(c *Config) { c.NumModules = 3 }),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestArchPolicyDefaults(t *testing.T) {
+	if n := Baseline().WithArch(NUBA); n.Placement != LAB || n.Replication != MDR {
+		t.Fatal("NUBA defaults")
+	}
+	if u := NUBABaseline().WithArch(UBAMem); u.Placement != RoundRobin || u.Replication != NoRep {
+		t.Fatal("UBA defaults")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if UBAMem.String() != "UBA-mem" || NUBA.String() != "NUBA" || UBASMSide.String() != "UBA-SM" {
+		t.Fatal("arch names")
+	}
+	if LAB.String() != "LAB" || FirstTouch.String() != "first-touch" {
+		t.Fatal("policy names")
+	}
+	if MDR.String() != "MDR" || NoRep.String() != "No-Rep" {
+		t.Fatal("replication names")
+	}
+	if PAE.String() != "PAE" || FixedChannel.String() != "fixed-channel" {
+		t.Fatal("mapping names")
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// debugState summarizes the live state of every component; used by tests
+// and the MaxCycles error path to diagnose stalls.
+func (g *GPU) debugState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle=%d\n", g.cycle)
+	for _, s := range g.sms {
+		if !s.Idle() {
+			fmt.Fprintf(&b, "  SM%d: %s\n", s.ID, s.DebugState())
+		}
+	}
+	for _, sl := range g.slices {
+		if sl.Pending() {
+			fmt.Fprintf(&b, "  slice%d: %s\n", sl.ID, sl.DebugState())
+		}
+	}
+	for _, ch := range g.chans {
+		if ch.Pending() {
+			fmt.Fprintf(&b, "  chan%d: %s\n", ch.ID(), ch.DebugState(int64(g.cycle)/int64(g.cfg.MemClockDiv)))
+		}
+	}
+	if g.vmsys.Pending() {
+		fmt.Fprintf(&b, "  vm pending\n")
+	}
+	for i, x := range g.reqXbars {
+		if x.Pending() {
+			fmt.Fprintf(&b, "  reqXbar%d pending\n", i)
+		}
+	}
+	for i, x := range g.replyXbars {
+		if x.Pending() {
+			fmt.Fprintf(&b, "  replyXbar%d pending\n", i)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,286 @@
+// Package core assembles the full simulated GPU systems — the memory-side
+// UBA baseline, the SM-side UBA (A100-style) and the proposed NUBA — and
+// runs kernels on them. It owns the top-level cycle loop, the distributed
+// CTA scheduler, request routing between SMs, LLC slices, the NoC and the
+// memory controllers, the kernel-boundary software-coherence flushes and
+// the MCM (multi-module) variants of Figure 16.
+package core
+
+import (
+	"fmt"
+
+	"github.com/nuba-gpu/nuba/internal/addrmap"
+	"github.com/nuba-gpu/nuba/internal/config"
+	"github.com/nuba-gpu/nuba/internal/dram"
+	"github.com/nuba-gpu/nuba/internal/driver"
+	"github.com/nuba-gpu/nuba/internal/energy"
+	"github.com/nuba-gpu/nuba/internal/kir"
+	"github.com/nuba-gpu/nuba/internal/llc"
+	"github.com/nuba-gpu/nuba/internal/mdr"
+	"github.com/nuba-gpu/nuba/internal/metrics"
+	"github.com/nuba-gpu/nuba/internal/noc"
+	"github.com/nuba-gpu/nuba/internal/sim"
+	"github.com/nuba-gpu/nuba/internal/smcore"
+	"github.com/nuba-gpu/nuba/internal/vm"
+)
+
+// GPU is one assembled system.
+type GPU struct {
+	cfg    config.Config
+	stats  *metrics.Stats
+	hist   *metrics.SharingHistogram
+	mapper *addrmap.Mapper
+	drv    *driver.Driver
+	vmsys  *vm.System
+
+	sms    []*smcore.SM
+	slices []*llc.Slice
+	chans  []*dram.Channel
+
+	// Per-module request and reply fabrics (one pair for monolithic
+	// GPUs). For the UBA layouts the request fabric runs SMs -> slices
+	// and the reply fabric slices -> SMs; for NUBA both fabrics run
+	// slice -> slice (inter-partition traffic), with port indices local
+	// to the module.
+	reqXbars   []*noc.Crossbar
+	replyXbars []*noc.Crossbar
+
+	// NUBA point-to-point links.
+	smReqLinks      []*sim.Link[*sim.MemReq] // per SM, toward its partition's slices
+	sliceReplyLinks []*sim.Link[*sim.MemReq] // per slice, toward its partition's SMs
+
+	// Inter-half links for the SM-side UBA (index = source half) and
+	// inter-module links for MCM ([src][dst], nil on the diagonal).
+	interHalf   [2]*sim.Link[noc.Msg]
+	interModule [][]*sim.Link[noc.Msg]
+
+	mdrProf *mdr.Profiler
+	mdrCtl  *mdr.Controller
+
+	cycle        sim.Cycle
+	reqID        uint64
+	launchSeq    int
+	vaCursor     uint64
+	hitMaxCycles bool
+
+	// migQueue holds background page-copy traffic awaiting channel space.
+	migQueue    *sim.Queue[*sim.MemReq]
+	nextMigScan sim.Cycle
+
+	// dbgToMemSum/dbgToMemCnt accumulate L1-miss-to-memory-controller
+	// latency for diagnostics.
+	dbgToMemSum, dbgToMemCnt int64
+	dbgFillSum, dbgFillCnt   int64
+
+	// invalQueue holds SM-side UBA coherence invalidations awaiting
+	// inter-half link space.
+	invalQueue *sim.Queue[*sim.MemReq]
+	// migFillRetry holds SM-side fills that found the inter-half link
+	// saturated; retried every cycle.
+	migFillRetry []*sim.MemReq
+}
+
+// New builds a GPU for the configuration.
+func New(cfg config.Config) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GPU{
+		cfg:         cfg,
+		stats:       &metrics.Stats{},
+		hist:        metrics.NewSharingHistogram(),
+		vaCursor:    1 << 40,
+		migQueue:    sim.NewQueue[*sim.MemReq](0),
+		invalQueue:  sim.NewQueue[*sim.MemReq](0),
+		nextMigScan: cfg.MigrationInterval,
+	}
+	g.mapper = addrmap.New(&g.cfg)
+	g.drv = driver.New(&g.cfg, g.mapper)
+	g.vmsys = vm.NewSystem(&g.cfg, g.drv, g.stats)
+
+	for i := 0; i < cfg.NumSMs; i++ {
+		part := g.cfg.PartitionOfSM(i)
+		s := smcore.New(i, part, &g.cfg, g.stats, g.drv, g.vmsys, g.hist)
+		s.NextReqID = g.nextReqID
+		g.sms = append(g.sms, s)
+	}
+	for j := 0; j < cfg.NumLLCSlices; j++ {
+		g.slices = append(g.slices, llc.New(j, g.cfg.PartitionOfSlice(j), &g.cfg, g.stats))
+	}
+	for c := 0; c < cfg.NumChannels; c++ {
+		ch := dram.NewChannel(c, &g.cfg, g.mapper)
+		g.chans = append(g.chans, ch)
+	}
+
+	g.buildInterconnect()
+	g.wire()
+
+	if cfg.Arch == config.NUBA && cfg.Replication == config.MDR {
+		g.mdrProf = mdr.NewProfiler(&g.cfg, 0)
+		g.mdrCtl = mdr.NewController(&g.cfg, g.stats, g.mdrProf)
+	}
+	return g, nil
+}
+
+// MustNew is New that panics on configuration errors (used by examples,
+// benchmarks and the experiment harness where configs are static).
+func MustNew(cfg config.Config) *GPU {
+	g, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *GPU) nextReqID() uint64 {
+	g.reqID++
+	return g.reqID
+}
+
+// Stats returns the run statistics.
+func (g *GPU) Stats() *metrics.Stats { return g.stats }
+
+// Sharing returns the page-sharing histogram (Figure 3 data).
+func (g *GPU) Sharing() *metrics.SharingHistogram { return g.hist }
+
+// Driver exposes the page-placement engine.
+func (g *GPU) Driver() *driver.Driver { return g.drv }
+
+// Config returns the configuration the GPU was built with.
+func (g *GPU) Config() *config.Config { return &g.cfg }
+
+// MDRController returns the MDR controller, or nil when MDR is inactive.
+func (g *GPU) MDRController() *mdr.Controller { return g.mdrCtl }
+
+// HitMaxCycles reports whether a run aborted at the MaxCycles safety net.
+func (g *GPU) HitMaxCycles() bool { return g.hitMaxCycles }
+
+// modules returns the number of crossbar domains.
+func (g *GPU) modules() int {
+	if g.cfg.Arch == config.UBASMSide {
+		return 2
+	}
+	if g.cfg.NumModules > 1 {
+		return g.cfg.NumModules
+	}
+	return 1
+}
+
+func (g *GPU) smsPerModule() int    { return g.cfg.NumSMs / g.modules() }
+func (g *GPU) slicesPerModule() int { return g.cfg.NumLLCSlices / g.modules() }
+
+// moduleOfSM returns the crossbar domain of an SM (the half for SM-side).
+func (g *GPU) moduleOfSM(sm int) int { return sm / g.smsPerModule() }
+
+// moduleOfSlice returns the crossbar domain of a slice.
+func (g *GPU) moduleOfSlice(s int) int { return s / g.slicesPerModule() }
+
+// moduleOfChannel returns the crossbar domain of a channel.
+func (g *GPU) moduleOfChannel(c int) int { return c / (g.cfg.NumChannels / g.modules()) }
+
+// buildInterconnect creates the crossbars and links for the architecture.
+func (g *GPU) buildInterconnect() {
+	width := g.cfg.NoCPortBytes()
+	mods := g.modules()
+	for m := 0; m < mods; m++ {
+		var reqIn, reqOut int
+		switch g.cfg.Arch {
+		case config.NUBA:
+			reqIn, reqOut = g.slicesPerModule(), g.slicesPerModule()
+		default: // UBA-mem and SM-side halves
+			reqIn, reqOut = g.smsPerModule(), g.slicesPerModule()
+		}
+		g.reqXbars = append(g.reqXbars,
+			noc.NewCrossbar(reqIn, reqOut, width, g.cfg.NoCLatency, g.cfg.NoCPortBuffer, g.cfg.NoCPortBuffer))
+		g.replyXbars = append(g.replyXbars,
+			noc.NewCrossbar(reqOut, reqIn, width, g.cfg.NoCLatency, g.cfg.NoCPortBuffer, g.cfg.NoCPortBuffer))
+	}
+
+	if g.cfg.Arch == config.NUBA {
+		for i := 0; i < g.cfg.NumSMs; i++ {
+			g.smReqLinks = append(g.smReqLinks,
+				sim.NewLink[*sim.MemReq](g.cfg.LocalLinkLatency, g.cfg.LocalLinkBytes, g.cfg.LocalLinkBuffer))
+		}
+		for j := 0; j < g.cfg.NumLLCSlices; j++ {
+			g.sliceReplyLinks = append(g.sliceReplyLinks,
+				sim.NewLink[*sim.MemReq](g.cfg.LocalLinkLatency, g.cfg.LocalLinkBytes, g.cfg.LocalLinkBuffer))
+		}
+	}
+
+	if g.cfg.Arch == config.UBASMSide {
+		// Inter-half links carry LLC misses to remote channels, the
+		// returning fills and coherence invalidations. The A100-style
+		// halves are stitched with abundant bandwidth; half the per-half
+		// crossbar bandwidth each direction keeps the link from becoming
+		// an artificial bottleneck relative to the paper's SM-side UBA
+		// (which performs within ~1% of the memory-side baseline).
+		w := width * g.slicesPerModule()
+		if w < width {
+			w = width
+		}
+		g.interHalf[0] = sim.NewLink[noc.Msg](g.cfg.NoCLatency, w, 8*g.cfg.NoCPortBuffer)
+		g.interHalf[1] = sim.NewLink[noc.Msg](g.cfg.NoCLatency, w, 8*g.cfg.NoCPortBuffer)
+	}
+
+	if g.cfg.NumModules > 1 {
+		// All-to-all inter-module links; each module's InterModuleGBs is
+		// split across its (mods-1) peers and the two directions.
+		per := g.cfg.InterModuleGBs / (2 * float64(mods-1) * g.cfg.CoreClockGHz)
+		w := int(per + 0.5)
+		if w < 1 {
+			w = 1
+		}
+		g.interModule = make([][]*sim.Link[noc.Msg], mods)
+		for a := 0; a < mods; a++ {
+			g.interModule[a] = make([]*sim.Link[noc.Msg], mods)
+			for b := 0; b < mods; b++ {
+				if a == b {
+					continue
+				}
+				g.interModule[a][b] = sim.NewLink[noc.Msg](g.cfg.NoCLatency*2, w, 8*g.cfg.NoCPortBuffer)
+			}
+		}
+	}
+}
+
+// NoCGeometry returns the total crossbar endpoint count (inputs plus
+// outputs of the request fabric, summed over modules; the reply fabric
+// mirrors it) and the per-port width — the inputs to the DSENT-style
+// power model.
+func (g *GPU) NoCGeometry() (ports, width int) {
+	for _, x := range g.reqXbars {
+		ports += x.InPorts() + x.OutPorts()
+	}
+	return ports, g.cfg.NoCPortBytes()
+}
+
+// EnergyBreakdown computes and stores the run's energy model outputs.
+func (g *GPU) EnergyBreakdown(p energy.Params) energy.Breakdown {
+	ports, width := g.NoCGeometry()
+	return energy.Compute(&g.cfg, g.stats, ports, width, p)
+}
+
+// NewBuffer reserves a page-aligned virtual address range of the given
+// size for a kernel buffer binding.
+func (g *GPU) NewBuffer(size uint64) uint64 {
+	base := g.vaCursor
+	pages := (size + g.cfg.PageSize - 1) / g.cfg.PageSize
+	g.vaCursor += (pages + 1) * g.cfg.PageSize
+	return base
+}
+
+// String describes the GPU.
+func (g *GPU) String() string {
+	return fmt.Sprintf("%s: %d SMs, %d LLC slices, %d channels, NoC %.0f GB/s",
+		g.cfg.Arch, g.cfg.NumSMs, g.cfg.NumLLCSlices, g.cfg.NumChannels, g.cfg.NoCBandwidthGBs)
+}
+
+// launchFor builds a kir.Launch bound into this GPU's address space; used
+// by the workload package through the public facade.
+func (g *GPU) launchFor(k *kir.Kernel, grid, ctaThreads int, scalars []int64, bufs []kir.Binding) (*kir.Launch, error) {
+	l := &kir.Launch{Kernel: k, GridDim: grid, CTAThreads: ctaThreads, Scalars: scalars, Buffers: bufs}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

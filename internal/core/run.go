@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/nuba-gpu/nuba/internal/config"
+	"github.com/nuba-gpu/nuba/internal/kir"
+	"github.com/nuba-gpu/nuba/internal/sim"
+)
+
+// RunKernel executes one kernel launch to completion, including the
+// kernel-boundary software-coherence flush (L1s and LLC, replica drop).
+func (g *GPU) RunKernel(l *kir.Launch) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	g.launchSeq++
+	if !g.cfg.ColdStart {
+		g.prewarm(l)
+	}
+	g.assignCTAs(l)
+	if err := g.runUntilIdle(); err != nil {
+		return err
+	}
+	g.kernelBoundaryFlush()
+	return g.runUntilIdle()
+}
+
+// RunProgram executes a sequence of launches back-to-back (multi-kernel
+// workloads such as the DNN benchmarks).
+func (g *GPU) RunProgram(launches []*kir.Launch) error {
+	for i, l := range launches {
+		if err := g.RunKernel(l); err != nil {
+			return fmt.Errorf("kernel %d (%s): %w", i, l.Kernel.Name, err)
+		}
+	}
+	g.stats.Cycles = int64(g.cycle)
+	g.collect()
+	return nil
+}
+
+// assignCTAs implements distributed CTA scheduling: contiguous CTA blocks
+// per SM, maximizing the locality that first-touch/LAB placement exploits.
+func (g *GPU) assignCTAs(l *kir.Launch) {
+	n := g.cfg.NumSMs
+	grid := l.GridDim
+	per := (grid + n - 1) / n
+	for smID := 0; smID < n; smID++ {
+		lo := smID * per
+		hi := lo + per
+		if hi > grid {
+			hi = grid
+		}
+		var ctas []int
+		for c := lo; c < hi; c++ {
+			ctas = append(ctas, c)
+		}
+		g.sms[smID].StartKernel(l, ctas)
+	}
+}
+
+// runUntilIdle advances the clock until every component drains.
+func (g *GPU) runUntilIdle() error {
+	for {
+		for i := 0; i < 64; i++ {
+			g.step()
+		}
+		if g.quiet() {
+			g.stats.Cycles = int64(g.cycle)
+			return nil
+		}
+		if int64(g.cycle) > g.cfg.MaxCycles {
+			g.hitMaxCycles = true
+			g.stats.Cycles = int64(g.cycle)
+			g.collect()
+			return fmt.Errorf("core: run exceeded MaxCycles=%d (deadlock or runaway workload)", g.cfg.MaxCycles)
+		}
+	}
+}
+
+// step advances the whole system by one core cycle.
+func (g *GPU) step() {
+	g.cycle++
+	now := g.cycle
+
+	g.vmsys.Tick(now)
+	for _, s := range g.sms {
+		s.Tick(now)
+	}
+
+	switch g.cfg.Arch {
+	case config.NUBA:
+		g.moveNUBARequestLinks(now)
+		g.moveXbars(now)
+		g.moveInterModule(now)
+		g.moveNUBAReplyLinks(now)
+	case config.UBASMSide:
+		g.drainInvalQueue(now)
+		g.moveXbars(now)
+		g.moveInterHalf(now)
+		g.retryFills(now)
+	default:
+		g.moveXbars(now)
+		g.moveInterModule(now)
+	}
+
+	for _, sl := range g.slices {
+		sl.Tick(now)
+	}
+
+	if now%sim.Cycle(g.cfg.MemClockDiv) == 0 {
+		mem := int64(now) / int64(g.cfg.MemClockDiv)
+		for _, ch := range g.chans {
+			ch.Tick(mem)
+		}
+	}
+
+	if g.mdrCtl != nil {
+		g.mdrCtl.Tick(now)
+	}
+	if g.cfg.Placement == config.Migration && now >= g.nextMigScan {
+		g.runMigrationScan(now)
+		g.nextMigScan = now + g.cfg.MigrationInterval
+	}
+	g.drainMigQueue()
+}
+
+// retryFills re-attempts SM-side fills that found the inter-half link
+// saturated.
+func (g *GPU) retryFills(now sim.Cycle) {
+	if len(g.migFillRetry) == 0 {
+		return
+	}
+	pending := g.migFillRetry
+	g.migFillRetry = g.migFillRetry[:0]
+	for _, req := range pending {
+		g.memRespond(req)
+	}
+}
+
+// runMigrationScan applies the §7.6 migration policy's interval decision.
+func (g *GPU) runMigrationScan(now sim.Cycle) {
+	// The page busy window covers the 4 KB copy plus TLB shootdown.
+	const migrationBusy = 4000
+	for _, a := range g.drv.MigrationCandidates(now) {
+		old := a.Page.PPN
+		g.drv.ApplyMigration(a.Page, a.To, now+migrationBusy)
+		g.stats.PageMigrations++
+		g.shootdown(a.Page.VPN)
+		g.chargePageCopy(old, a.Page.PPN)
+	}
+}
+
+// quiet reports whether every component has drained.
+func (g *GPU) quiet() bool {
+	for _, s := range g.sms {
+		if !s.Idle() {
+			return false
+		}
+	}
+	if g.vmsys.Pending() {
+		return false
+	}
+	for _, x := range g.reqXbars {
+		if x.Pending() {
+			return false
+		}
+	}
+	for _, x := range g.replyXbars {
+		if x.Pending() {
+			return false
+		}
+	}
+	for _, sl := range g.slices {
+		if sl.Pending() {
+			return false
+		}
+	}
+	for _, ch := range g.chans {
+		if ch.Pending() {
+			return false
+		}
+	}
+	for _, l := range g.smReqLinks {
+		if l.Pending() > 0 {
+			return false
+		}
+	}
+	for _, l := range g.sliceReplyLinks {
+		if l.Pending() > 0 {
+			return false
+		}
+	}
+	for _, l := range g.interHalf {
+		if l != nil && l.Pending() > 0 {
+			return false
+		}
+	}
+	for _, row := range g.interModule {
+		for _, l := range row {
+			if l != nil && l.Pending() > 0 {
+				return false
+			}
+		}
+	}
+	return g.migQueue.Empty() && g.invalQueue.Empty() && len(g.migFillRetry) == 0
+}
+
+// kernelBoundaryFlush applies software coherence at the kernel boundary:
+// L1s invalidate, replicas drop, and the LLC flushes (dirty lines write
+// back), exactly the overhead Section 5.3 says must be modeled.
+func (g *GPU) kernelBoundaryFlush() {
+	for _, s := range g.sms {
+		s.FlushL1()
+	}
+	for _, sl := range g.slices {
+		sl.DropReplicas()
+		sl.Flush(g.cycle)
+	}
+}
+
+// collect aggregates component counters into the run statistics.
+func (g *GPU) collect() {
+	var dramReads, dramWrites, rowHits, rowMisses int64
+	for _, ch := range g.chans {
+		dramReads += ch.Reads
+		dramWrites += ch.Writes
+		rowHits += ch.RowHits
+		rowMisses += ch.RowMisses
+	}
+	g.stats.DRAMReads = dramReads
+	g.stats.DRAMWrites = dramWrites
+	g.stats.DRAMRowHits = rowHits
+	g.stats.DRAMRowMisses = rowMisses
+
+	var nocBytes, nocFlits int64
+	for _, x := range g.reqXbars {
+		nocBytes += x.Bytes
+		nocFlits += x.BusyCycles()
+	}
+	for _, x := range g.replyXbars {
+		nocBytes += x.Bytes
+		nocFlits += x.BusyCycles()
+	}
+	for _, l := range g.interHalf {
+		if l != nil {
+			nocBytes += l.Bytes
+			nocFlits += l.BusyCycles
+		}
+	}
+	for _, row := range g.interModule {
+		for _, l := range row {
+			if l != nil {
+				nocBytes += l.Bytes
+				nocFlits += l.BusyCycles
+			}
+		}
+	}
+	g.stats.NoCBytes = nocBytes
+	g.stats.NoCFlits = nocFlits
+
+	var localBytes int64
+	for _, l := range g.smReqLinks {
+		localBytes += l.Bytes
+	}
+	for _, l := range g.sliceReplyLinks {
+		localBytes += l.Bytes
+	}
+	g.stats.LocalLinkBytes = localBytes
+
+	g.stats.PageMigrations = g.drv.Migrations
+	g.stats.PageReplicas = g.drv.Replications
+}

@@ -1,0 +1,252 @@
+// Package dram models the HBM memory system: per-channel FR-FCFS
+// controllers over banked DRAM with the Table 1 timing parameters
+// (tRC/tRCD/tRP/tCL/tRAS/tFAW/tRRD/tRTP/tWTR/...). The memory clock is
+// 350 MHz — one memory cycle per MemClockDiv core cycles — and each
+// channel's data bus moves 64 B per memory cycle, so the baseline
+// 32 channels supply ~720 GB/s, matching the paper.
+//
+// The controller is a faithful first-order model: one command per channel
+// per memory cycle, open-page policy with FR-FCFS scheduling (row hits
+// first, oldest otherwise), per-bank timing state machines, a shared data
+// bus per channel and a four-activate window.
+package dram
+
+import (
+	"fmt"
+	"github.com/nuba-gpu/nuba/internal/addrmap"
+	"github.com/nuba-gpu/nuba/internal/config"
+	"github.com/nuba-gpu/nuba/internal/sim"
+)
+
+// bank tracks the timing state of one DRAM bank in memory cycles.
+type bank struct {
+	rowOpen  bool
+	row      uint64
+	readyAct int64
+	readyCAS int64
+	readyPre int64
+	// openedFor marks the request whose conflict opened the current row;
+	// its own CAS is a row miss, not a hit.
+	openedFor *sim.MemReq
+}
+
+type completion struct {
+	done int64 // memory cycle at which the burst finishes
+	req  *sim.MemReq
+}
+
+// Channel is one HBM channel: a bounded request queue, BanksPerChan banks,
+// a command bus (one command per memory cycle) and a 64 B/cycle data bus.
+type Channel struct {
+	id     int
+	cfg    *config.Config
+	mapper *addrmap.Mapper
+	t      config.HBMTiming
+
+	queue *sim.Queue[*sim.MemReq]
+	banks []bank
+
+	busFreeAt  int64 // memory cycle the data bus frees up
+	burst      int64 // data-bus cycles per 128 B transaction
+	lastActs   []int64
+	nextActRRD int64
+
+	completions *sim.Queue[completion]
+
+	// Respond is invoked for every finished read (and atomic) with the
+	// originating request; writes complete silently. The core wires this
+	// to the owning LLC slice's fill path.
+	Respond func(*sim.MemReq)
+
+	// Stats.
+	Reads      int64
+	Writes     int64
+	RowHits    int64
+	RowMisses  int64
+	BusyCycles int64
+	stallFull  int64
+}
+
+// NewChannel returns channel id of the configuration.
+func NewChannel(id int, cfg *config.Config, mapper *addrmap.Mapper) *Channel {
+	burst := int64((sim.LineSize + cfg.MemBusBytesPerMemCycle - 1) / cfg.MemBusBytesPerMemCycle)
+	if burst < 1 {
+		burst = 1
+	}
+	return &Channel{
+		id:          id,
+		cfg:         cfg,
+		mapper:      mapper,
+		t:           cfg.Timing,
+		queue:       sim.NewQueue[*sim.MemReq](cfg.MemQueueDepth),
+		banks:       make([]bank, cfg.BanksPerChan),
+		burst:       burst,
+		lastActs:    make([]int64, 0, 4),
+		completions: sim.NewQueue[completion](0),
+	}
+}
+
+// ID returns the channel index.
+func (c *Channel) ID() int { return c.id }
+
+// CanEnqueue reports whether the request queue has room.
+func (c *Channel) CanEnqueue() bool { return !c.queue.Full() }
+
+// Enqueue adds a request to the channel queue, reporting acceptance.
+func (c *Channel) Enqueue(req *sim.MemReq) bool {
+	if !c.queue.Push(req) {
+		c.stallFull++
+		return false
+	}
+	return true
+}
+
+// QueueLen returns the number of pending requests.
+func (c *Channel) QueueLen() int { return c.queue.Len() }
+
+// faw reports whether a fourth activate within the window would violate
+// tFAW at memory cycle now.
+func (c *Channel) fawOK(now int64) bool {
+	if len(c.lastActs) < 4 {
+		return true
+	}
+	return now-c.lastActs[len(c.lastActs)-4] >= int64(c.t.TFAW)
+}
+
+func (c *Channel) recordAct(now int64) {
+	c.lastActs = append(c.lastActs, now)
+	if len(c.lastActs) > 8 {
+		c.lastActs = c.lastActs[len(c.lastActs)-4:]
+	}
+	c.nextActRRD = now + int64(c.t.TRRDS)
+}
+
+// Tick advances the channel by one memory cycle, issuing at most one
+// command and delivering finished bursts.
+func (c *Channel) Tick(now int64) {
+	// Deliver completed bursts.
+	for {
+		comp, ok := c.completions.Peek()
+		if !ok || comp.done > now {
+			break
+		}
+		c.completions.Pop()
+		if comp.req.Kind != sim.Store && c.Respond != nil {
+			c.Respond(comp.req)
+		}
+	}
+	if c.queue.Empty() {
+		return
+	}
+
+	// FR-FCFS pass 1: the first request whose row is open and whose
+	// bank + data bus can take the CAS now.
+	n := c.queue.Len()
+	for i := 0; i < n; i++ {
+		req := c.queue.At(i)
+		b := &c.banks[c.mapper.Bank(req.Addr)]
+		if b.rowOpen && b.row == c.mapper.Row(req.Addr) && b.readyCAS <= now && c.busFreeAt <= c.casDataStart(now, req) {
+			c.issueCAS(now, req, b, b.openedFor != req)
+			b.openedFor = nil
+			c.queue.RemoveAt(i)
+			return
+		}
+	}
+	// Pass 2: issue one PRE or ACT for the oldest request of some bank,
+	// preserving bank-level parallelism — considering only each bank's
+	// oldest request avoids thrashing rows under younger requests.
+	var seen uint64
+	for i := 0; i < n; i++ {
+		req := c.queue.At(i)
+		bi := c.mapper.Bank(req.Addr)
+		if seen&(1<<uint(bi)) != 0 {
+			continue
+		}
+		seen |= 1 << uint(bi)
+		b := &c.banks[bi]
+		row := c.mapper.Row(req.Addr)
+		switch {
+		case b.rowOpen && b.row == row:
+			// Waiting on tRCD or the data bus; pass 1 issues the CAS
+			// when it becomes legal. No command for this bank.
+		case b.rowOpen: // row conflict: precharge
+			if b.readyPre <= now {
+				b.rowOpen = false
+				b.readyAct = max64(b.readyAct, now+int64(c.t.TRP))
+				return
+			}
+		default: // closed: activate
+			if b.readyAct <= now && c.nextActRRD <= now && c.fawOK(now) {
+				b.rowOpen = true
+				b.row = row
+				b.readyCAS = now + int64(c.t.TRCD)
+				b.readyPre = now + int64(c.t.TRAS)
+				b.readyAct = now + int64(c.t.TRC)
+				b.openedFor = req
+				c.recordAct(now)
+				c.RowMisses++
+				return
+			}
+		}
+	}
+}
+
+// casDataStart returns the memory cycle the data burst would start if the
+// CAS issued at now.
+func (c *Channel) casDataStart(now int64, req *sim.MemReq) int64 {
+	if req.Kind == sim.Store {
+		return now + int64(c.t.TWL)
+	}
+	return now + int64(c.t.TCL)
+}
+
+func (c *Channel) issueCAS(now int64, req *sim.MemReq, b *bank, rowHit bool) {
+	start := c.casDataStart(now, req)
+	end := start + c.burst
+	c.busFreeAt = end
+	c.BusyCycles += c.burst
+	if rowHit {
+		c.RowHits++
+	}
+	if req.Kind == sim.Store {
+		c.Writes++
+		b.readyPre = max64(b.readyPre, end+int64(c.t.TWR))
+	} else {
+		c.Reads++
+		b.readyPre = max64(b.readyPre, now+int64(c.t.TRTP))
+	}
+	c.completions.Push(completion{done: end, req: req})
+}
+
+// Pending reports whether any request or in-flight burst remains.
+func (c *Channel) Pending() bool {
+	return !c.queue.Empty() || !c.completions.Empty()
+}
+
+// Utilization returns the data-bus busy fraction over elapsed memory cycles.
+func (c *Channel) Utilization(elapsedMemCycles int64) float64 {
+	if elapsedMemCycles <= 0 {
+		return 0
+	}
+	return float64(c.BusyCycles) / float64(elapsedMemCycles)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DebugState summarizes controller state for stall diagnosis.
+func (c *Channel) DebugState(now int64) string {
+	s := fmt.Sprintf("q=%d busFree=%+d comps=%d", c.queue.Len(), c.busFreeAt-now, c.completions.Len())
+	if c.queue.Len() > 0 {
+		req := c.queue.At(0)
+		b := &c.banks[c.mapper.Bank(req.Addr)]
+		s += fmt.Sprintf(" head={%v addr=%#x bank=%d} bank={open=%v row=%d rdyAct=%+d rdyCAS=%+d rdyPre=%+d} rrd=%+d",
+			req.Kind, req.Addr, c.mapper.Bank(req.Addr),
+			b.rowOpen, b.row, b.readyAct-now, b.readyCAS-now, b.readyPre-now, c.nextActRRD-now)
+	}
+	return s
+}

@@ -1,0 +1,76 @@
+package energy
+
+import (
+	"testing"
+
+	"github.com/nuba-gpu/nuba/internal/config"
+	"github.com/nuba-gpu/nuba/internal/metrics"
+)
+
+func baseStats() *metrics.Stats {
+	return &metrics.Stats{
+		Cycles:       100000,
+		Instructions: 1000000,
+		L1Accesses:   500000,
+		LLCAccesses:  200000,
+		DRAMReads:    50000,
+		DRAMWrites:   20000,
+		NoCBytes:     10 << 20,
+	}
+}
+
+func TestComputeFillsStats(t *testing.T) {
+	cfg := config.Baseline()
+	st := baseStats()
+	b := Compute(&cfg, st, 128, 16, DefaultParams())
+	if b.TotalNJ() <= 0 {
+		t.Fatal("no energy")
+	}
+	if st.NoCEnergyNJ != b.NoCNJ || st.DRAMEnergyNJ != b.DRAMNJ {
+		t.Fatal("stats not filled")
+	}
+	if b.NoCNJ <= 0 || b.DRAMNJ <= 0 || b.CoreNJ <= 0 || b.LLCNJ <= 0 || b.StaticNJ <= 0 {
+		t.Fatalf("zero component: %+v", b)
+	}
+}
+
+func TestNoCPowerScalesQuadraticallyWithPorts(t *testing.T) {
+	cfg := config.Baseline()
+	small := Compute(&cfg, baseStats(), 64, 16, DefaultParams())
+	big := Compute(&cfg, baseStats(), 128, 16, DefaultParams())
+	if big.NoCNJ <= small.NoCNJ {
+		t.Fatal("NoC energy did not grow with radix")
+	}
+	// Static part quadruples when ports double; with dynamic included
+	// the ratio must still exceed 2x for this traffic mix.
+	if big.NoCNJ/small.NoCNJ < 1.5 {
+		t.Fatalf("ratio %v too small", big.NoCNJ/small.NoCNJ)
+	}
+}
+
+func TestNoCPowerScalesWithWidth(t *testing.T) {
+	cfg := config.Baseline()
+	narrow := Compute(&cfg, baseStats(), 128, 8, DefaultParams())
+	wide := Compute(&cfg, baseStats(), 128, 64, DefaultParams())
+	if wide.NoCNJ <= narrow.NoCNJ {
+		t.Fatal("NoC energy did not grow with link width")
+	}
+}
+
+func TestNoCPowerW(t *testing.T) {
+	b := Breakdown{NoCNJ: 1e9} // 1 J
+	// 1 J over (1.4e9 cycles / 1.4 GHz = 1 s) = 1 W.
+	if w := NoCPowerW(b, 1_400_000_000, 1.4); w < 0.99 || w > 1.01 {
+		t.Fatalf("power %v", w)
+	}
+	if NoCPowerW(b, 0, 1.4) != 0 {
+		t.Fatal("zero cycles should give zero power")
+	}
+}
+
+func TestLocalLinkEnergyCheaperThanNoC(t *testing.T) {
+	p := DefaultParams()
+	if p.LocalLinkByteNJ >= p.NoCByteBaseNJ {
+		t.Fatal("point-to-point links must be cheaper per byte than the crossbar")
+	}
+}

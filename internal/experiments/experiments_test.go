@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/nuba-gpu/nuba/internal/workload"
+)
+
+func TestNamesAndByName(t *testing.T) {
+	names := Names()
+	if len(names) != len(All()) || len(names) < 15 {
+		t.Fatalf("names: %v", names)
+	}
+	for _, n := range names {
+		e, err := ByName(n)
+		if err != nil || e.Name != n {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+	}
+	if _, err := ByName("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTable2RunsWithoutSimulation(t *testing.T) {
+	r := NewRunner(Options{})
+	out, err := r.table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range workload.Suite() {
+		if !strings.Contains(out, b.Abbr) {
+			t.Fatalf("table2 missing %s:\n%s", b.Abbr, out)
+		}
+	}
+}
+
+func TestFig3SmallSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	bp, _ := workload.ByAbbr("BP")
+	sg, _ := workload.ByAbbr("SGEMM")
+	r := NewRunner(Options{Scale: 0.125, Benchmarks: []workload.Benchmark{bp, sg}})
+	out, err := r.fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "BP") || !strings.Contains(out, "SGEMM") {
+		t.Fatalf("fig3 output:\n%s", out)
+	}
+}
+
+func TestFig7SmallSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	bp, _ := workload.ByAbbr("BP")
+	r := NewRunner(Options{Scale: 0.125, Benchmarks: []workload.Benchmark{bp}})
+	out, err := r.fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "NUBA") || !strings.Contains(out, "%") {
+		t.Fatalf("fig7 output:\n%s", out)
+	}
+	// Runs are memoized: a second experiment sharing configurations must
+	// not re-simulate (fast path check via the cache size).
+	if len(r.cache) == 0 {
+		t.Fatal("runner cache empty")
+	}
+	before := len(r.cache)
+	if _, err := r.fig9(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.cache) != before {
+		t.Fatal("fig9 re-simulated runs fig7 already did")
+	}
+}

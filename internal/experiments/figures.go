@@ -1,0 +1,526 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/nuba-gpu/nuba"
+	"github.com/nuba-gpu/nuba/internal/energy"
+	"github.com/nuba-gpu/nuba/internal/metrics"
+	"github.com/nuba-gpu/nuba/internal/workload"
+)
+
+// table2 prints the suite with the paper's and the scaled footprints.
+func (r *Runner) table2() (string, error) {
+	t := &metrics.Table{Header: []string{"Benchmark", "Abbr", "Sharing", "Paper MB/RO", "Sim MB", "Launches"}}
+	for _, b := range r.opts.Benchmarks {
+		var total uint64
+		n := 0
+		alloc := func(size uint64) uint64 {
+			total += size
+			n++
+			return uint64(n) << 40
+		}
+		launches, err := b.Build(alloc)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", b.Abbr, err)
+		}
+		sharing := "low"
+		if b.High {
+			sharing = "high"
+		}
+		t.AddRow(b.Name, b.Abbr, sharing,
+			fmt.Sprintf("%.0f / %.2f", b.PaperMB, b.PaperROMB),
+			mbs(float64(total)/workload.MB), fmt.Sprintf("%d", len(launches)))
+	}
+	return t.String(), nil
+}
+
+// fig3 reports the page sharing histogram per benchmark on the baseline
+// UBA GPU, as in Figure 3.
+func (r *Runner) fig3() (string, error) {
+	cfg := r.scaled(nuba.Baseline())
+	t := &metrics.Table{Header: []string{"Bench", "Class", "Pages", "1 SM", "2-10", "11-25", ">25", "Shared%"}}
+	for _, b := range r.opts.Benchmarks {
+		res, err := r.run(cfg, b)
+		if err != nil {
+			return "", err
+		}
+		one, two, eleven, over := res.Sharing.Buckets()
+		cls := "low"
+		if b.High {
+			cls = "high"
+		}
+		t.AddRow(b.Abbr, cls, fmt.Sprintf("%d", res.Sharing.Pages()),
+			f2(one), f2(two), f2(eleven), f2(over), pct(res.Sharing.SharedFraction()*100))
+	}
+	return t.String(), nil
+}
+
+// isoRuns executes the four Section 7 configurations over the suite.
+func (r *Runner) isoRuns() (map[string]map[string]*nuba.Result, error) {
+	cfgs := r.isoConfigs()
+	out := make(map[string]map[string]*nuba.Result)
+	for name, cfg := range cfgs {
+		out[name] = make(map[string]*nuba.Result)
+		for _, b := range r.opts.Benchmarks {
+			res, err := r.run(cfg, b)
+			if err != nil {
+				return nil, err
+			}
+			out[name][b.Abbr] = res
+		}
+	}
+	return out, nil
+}
+
+// fig7 reports speedup of NUBA-No-Rep and NUBA over the memory-side UBA.
+func (r *Runner) fig7() (string, error) {
+	runs, err := r.isoRuns()
+	if err != nil {
+		return "", err
+	}
+	t := &metrics.Table{Header: []string{"Bench", "Class", "UBA-SM", "NUBA-No-Rep", "NUBA"}}
+	var lowN, highN, lowR, highR []float64
+	for _, b := range r.opts.Benchmarks {
+		base := runs["UBA-mem"][b.Abbr]
+		sm := speedupPct(runs["UBA-SM"][b.Abbr], base)
+		nr := speedupPct(runs["NUBA-No-Rep"][b.Abbr], base)
+		nb := speedupPct(runs["NUBA"][b.Abbr], base)
+		cls := "low"
+		if b.High {
+			cls = "high"
+			highN = append(highN, 1+nr/100)
+			highR = append(highR, 1+nb/100)
+		} else {
+			lowN = append(lowN, 1+nr/100)
+			lowR = append(lowR, 1+nb/100)
+		}
+		t.AddRow(b.Abbr, cls, pct(sm), pct(nr), pct(nb))
+	}
+	chart := &metrics.BarChart{Title: "NUBA speedup over UBA (%)", Width: 50}
+	for _, b := range r.opts.Benchmarks {
+		chart.Add(b.Abbr, speedupPct(runs["NUBA"][b.Abbr], runs["UBA-mem"][b.Abbr]))
+	}
+	var bld strings.Builder
+	bld.WriteString(t.String())
+	bld.WriteByte('\n')
+	bld.WriteString(chart.String())
+	groupSummary(&bld, "NUBA-No-Rep vs UBA", lowN, highN)
+	groupSummary(&bld, "NUBA        vs UBA", lowR, highR)
+	bld.WriteString("(paper: NUBA +30.4% low, +15.1% high, +23.1% overall vs memory-side UBA)\n")
+	return bld.String(), nil
+}
+
+// fig8 reports the perceived bandwidth in replies per cycle.
+func (r *Runner) fig8() (string, error) {
+	runs, err := r.isoRuns()
+	if err != nil {
+		return "", err
+	}
+	t := &metrics.Table{Header: []string{"Bench", "UBA-mem", "NUBA-No-Rep", "NUBA", "Gain"}}
+	var gains []float64
+	for _, b := range r.opts.Benchmarks {
+		u := runs["UBA-mem"][b.Abbr].Stats.RepliesPerCycle()
+		nr := runs["NUBA-No-Rep"][b.Abbr].Stats.RepliesPerCycle()
+		nb := runs["NUBA"][b.Abbr].Stats.RepliesPerCycle()
+		gain := 0.0
+		if u > 0 {
+			gain = (nb/u - 1) * 100
+		}
+		gains = append(gains, 1+gain/100)
+		t.AddRow(b.Abbr, f3(u), f3(nr), f3(nb), pct(gain))
+	}
+	var bld strings.Builder
+	bld.WriteString(t.String())
+	fmt.Fprintf(&bld, "harmonic-mean perceived-bandwidth gain: %+.1f%% (paper: +38.9%%)\n", summarize(gains))
+	return bld.String(), nil
+}
+
+// fig9 reports the L1 miss service breakdown.
+func (r *Runner) fig9() (string, error) {
+	runs, err := r.isoRuns()
+	if err != nil {
+		return "", err
+	}
+	t := &metrics.Table{Header: []string{"Bench", "UBA local", "NoRep local", "NUBA local", "NUBA replica"}}
+	var localSum, n float64
+	for _, b := range r.opts.Benchmarks {
+		u := runs["UBA-mem"][b.Abbr].Stats
+		nr := runs["NUBA-No-Rep"][b.Abbr].Stats
+		nb := runs["NUBA"][b.Abbr].Stats
+		repFrac := 0.0
+		if tot := nb.LocalAccesses + nb.RemoteAccesses; tot > 0 {
+			repFrac = float64(nb.ReplicatedAccesses) / float64(tot)
+		}
+		localSum += nb.LocalFraction()
+		n++
+		t.AddRow(b.Abbr, f2(u.LocalFraction()), f2(nr.LocalFraction()), f2(nb.LocalFraction()), f2(repFrac))
+	}
+	var bld strings.Builder
+	bld.WriteString(t.String())
+	fmt.Fprintf(&bld, "mean NUBA local fraction: %.1f%% (paper: 63.9%% of L1 misses local)\n", 100*localSum/n)
+	return bld.String(), nil
+}
+
+// fig10 sweeps the NoC bandwidth and reports performance vs NoC power.
+func (r *Runner) fig10() (string, error) {
+	type point struct {
+		arch string
+		cfg  nuba.Config
+	}
+	var points []point
+	for _, gbs := range []float64{700, 1400, 2800, 5600} {
+		points = append(points,
+			point{"UBA-mem", r.scaled(nuba.Baseline().WithNoC(gbs))},
+			point{"UBA-SM", r.scaled(nuba.SMSideConfig().WithNoC(gbs))},
+			point{"NUBA", r.scaled(nuba.NUBAConfig().WithNoC(gbs))},
+		)
+	}
+	baseCfg := r.scaled(nuba.Baseline())
+	t := &metrics.Table{Header: []string{"Config", "NoC GB/s", "Perf vs UBA@1400", "NoC power (W)"}}
+	for _, p := range points {
+		var speedups []float64
+		var power float64
+		for _, b := range r.opts.Benchmarks {
+			base, err := r.run(baseCfg, b)
+			if err != nil {
+				return "", err
+			}
+			res, err := r.run(p.cfg, b)
+			if err != nil {
+				return "", err
+			}
+			speedups = append(speedups, float64(base.Stats.Cycles)/float64(res.Stats.Cycles))
+			power += energy.NoCPowerW(energy.Breakdown{NoCNJ: res.Stats.NoCEnergyNJ},
+				res.Stats.Cycles, p.cfg.CoreClockGHz)
+		}
+		power /= float64(len(r.opts.Benchmarks))
+		t.AddRow(p.arch, fmt.Sprintf("%.0f", p.cfg.NoCBandwidthGBs), pct(summarize(speedups)), f2(power))
+	}
+	var bld strings.Builder
+	bld.WriteString(t.String())
+	bld.WriteString("(paper: NUBA@700 ~= UBA@5600 performance at 12.1x / 9.4x lower NoC power)\n")
+	return bld.String(), nil
+}
+
+// fig11 compares page allocation policies on NUBA (no replication, to
+// isolate placement as in the paper's Figure 11 with MDR active — the
+// paper applies MDR; we follow it).
+func (r *Runner) fig11() (string, error) {
+	base := r.scaled(nuba.Baseline())
+	ft := r.scaled(nuba.NUBAConfig())
+	ft.Placement = nuba.FirstTouch
+	rr := r.scaled(nuba.NUBAConfig())
+	rr.Placement = nuba.RoundRobin
+	lab := r.scaled(nuba.NUBAConfig())
+	lab.Placement = nuba.LAB
+	t := &metrics.Table{Header: []string{"Bench", "Class", "FT vs UBA", "RR vs UBA", "LAB vs UBA"}}
+	var ftS, rrS, labS []float64
+	for _, b := range r.opts.Benchmarks {
+		ub, err := r.run(base, b)
+		if err != nil {
+			return "", err
+		}
+		rf, err := r.run(ft, b)
+		if err != nil {
+			return "", err
+		}
+		rrr, err := r.run(rr, b)
+		if err != nil {
+			return "", err
+		}
+		rl, err := r.run(lab, b)
+		if err != nil {
+			return "", err
+		}
+		cls := "low"
+		if b.High {
+			cls = "high"
+		}
+		ftS = append(ftS, float64(ub.Stats.Cycles)/float64(rf.Stats.Cycles))
+		rrS = append(rrS, float64(ub.Stats.Cycles)/float64(rrr.Stats.Cycles))
+		labS = append(labS, float64(ub.Stats.Cycles)/float64(rl.Stats.Cycles))
+		t.AddRow(b.Abbr, cls, pct(speedupPct(rf, ub)), pct(speedupPct(rrr, ub)), pct(speedupPct(rl, ub)))
+	}
+	var bld strings.Builder
+	bld.WriteString(t.String())
+	fmt.Fprintf(&bld, "harmonic means vs UBA: FT %+.1f%%  RR %+.1f%%  LAB %+.1f%%\n",
+		summarize(ftS), summarize(rrS), summarize(labS))
+	bld.WriteString("(paper: LAB +14.8% vs UBA; LAB beats FT by 88.9% and RR by 14.3% on NUBA)\n")
+	return bld.String(), nil
+}
+
+// fig12 compares replication policies on NUBA with LAB placement.
+func (r *Runner) fig12() (string, error) {
+	noRep := r.scaled(nuba.NUBAConfig())
+	noRep.Replication = nuba.NoRep
+	fullRep := r.scaled(nuba.NUBAConfig())
+	fullRep.Replication = nuba.FullRep
+	mdr := r.scaled(nuba.NUBAConfig())
+	t := &metrics.Table{Header: []string{"Bench", "Class", "Full-Rep", "MDR", "LLCmiss No/Full"}}
+	var fullS, mdrS []float64
+	for _, b := range r.opts.Benchmarks {
+		rn, err := r.run(noRep, b)
+		if err != nil {
+			return "", err
+		}
+		rf, err := r.run(fullRep, b)
+		if err != nil {
+			return "", err
+		}
+		rm, err := r.run(mdr, b)
+		if err != nil {
+			return "", err
+		}
+		cls := "low"
+		if b.High {
+			cls = "high"
+		}
+		fullS = append(fullS, float64(rn.Stats.Cycles)/float64(rf.Stats.Cycles))
+		mdrS = append(mdrS, float64(rn.Stats.Cycles)/float64(rm.Stats.Cycles))
+		t.AddRow(b.Abbr, cls, pct(speedupPct(rf, rn)), pct(speedupPct(rm, rn)),
+			fmt.Sprintf("%.2f/%.2f", 1-rn.Stats.LLCHitRate(), 1-rf.Stats.LLCHitRate()))
+	}
+	var bld strings.Builder
+	bld.WriteString(t.String())
+	fmt.Fprintf(&bld, "harmonic means vs No-Rep: Full-Rep %+.1f%%  MDR %+.1f%%\n", summarize(fullS), summarize(mdrS))
+	bld.WriteString("(paper: MDR +15.1% vs No-Rep; Full-Rep helps 2MM/AN/SN/RN, hurts SC/BT/GRU/BICG)\n")
+	return bld.String(), nil
+}
+
+// fig13 reports the energy breakdown.
+func (r *Runner) fig13() (string, error) {
+	runs, err := r.isoRuns()
+	if err != nil {
+		return "", err
+	}
+	t := &metrics.Table{Header: []string{"Bench", "UBA NoC%", "NUBA NoC%", "NoC energy vs UBA", "Total vs UBA"}}
+	var nocRatios, totRatios []float64
+	for _, b := range r.opts.Benchmarks {
+		u := runs["UBA-mem"][b.Abbr].Stats
+		nb := runs["NUBA"][b.Abbr].Stats
+		uNoC := u.NoCEnergyNJ / u.TotalEnergyNJ() * 100
+		nNoC := nb.NoCEnergyNJ / nb.TotalEnergyNJ() * 100
+		nocR := (nb.NoCEnergyNJ/u.NoCEnergyNJ - 1) * 100
+		totR := (nb.TotalEnergyNJ()/u.TotalEnergyNJ() - 1) * 100
+		nocRatios = append(nocRatios, nb.NoCEnergyNJ/u.NoCEnergyNJ)
+		totRatios = append(totRatios, nb.TotalEnergyNJ()/u.TotalEnergyNJ())
+		t.AddRow(b.Abbr, f2(uNoC), f2(nNoC), pct(nocR), pct(totR))
+	}
+	var mn, mt float64
+	for i := range nocRatios {
+		mn += nocRatios[i]
+		mt += totRatios[i]
+	}
+	mn /= float64(len(nocRatios))
+	mt /= float64(len(totRatios))
+	var bld strings.Builder
+	bld.WriteString(t.String())
+	fmt.Fprintf(&bld, "mean NUBA/UBA: NoC energy %.2fx, total energy %.2fx (paper: NoC -54.5%%, total -16.0%%)\n", mn, mt)
+	return bld.String(), nil
+}
+
+// sensitivity runs UBA vs NUBA under a config transform and reports the
+// harmonic-mean NUBA improvement.
+func (r *Runner) sensitivity(label string, variants map[string]func(nuba.Config) nuba.Config) (string, error) {
+	t := &metrics.Table{Header: []string{label, "NUBA vs UBA (low)", "(high)", "(all)"}}
+	for _, name := range sortedKeys(variants) {
+		f := variants[name]
+		uba := f(r.scaled(nuba.Baseline()))
+		nub := f(r.scaled(nuba.NUBAConfig()))
+		var low, high []float64
+		for _, b := range r.opts.Benchmarks {
+			ub, err := r.run(uba, b)
+			if err != nil {
+				return "", err
+			}
+			nb, err := r.run(nub, b)
+			if err != nil {
+				return "", err
+			}
+			s := float64(ub.Stats.Cycles) / float64(nb.Stats.Cycles)
+			if b.High {
+				high = append(high, s)
+			} else {
+				low = append(low, s)
+			}
+		}
+		all := append(append([]float64{}, low...), high...)
+		t.AddRow(name, pct(summarize(low)), pct(summarize(high)), pct(summarize(all)))
+	}
+	return t.String(), nil
+}
+
+func (r *Runner) fig14Size() (string, error) {
+	return r.sensitivity("GPU size", map[string]func(nuba.Config) nuba.Config{
+		"0.5x (32 SMs)": func(c nuba.Config) nuba.Config { return c.Scale(0.5) },
+		"1x (64 SMs)":   func(c nuba.Config) nuba.Config { return c },
+		"2x (128 SMs)":  func(c nuba.Config) nuba.Config { return c.Scale(2) },
+	})
+}
+
+func (r *Runner) fig14Partition() (string, error) {
+	return r.sensitivity("Slices/partition", map[string]func(nuba.Config) nuba.Config{
+		"1 slice":  func(c nuba.Config) nuba.Config { return c.WithPartition(1) },
+		"2 slices": func(c nuba.Config) nuba.Config { return c },
+		"4 slices": func(c nuba.Config) nuba.Config { return c.WithPartition(4) },
+	})
+}
+
+func (r *Runner) fig14LLC() (string, error) {
+	return r.sensitivity("LLC capacity", map[string]func(nuba.Config) nuba.Config{
+		"0.5x (3 MB)": func(c nuba.Config) nuba.Config { return c.WithLLCCapacity(0.5) },
+		"1x (6 MB)":   func(c nuba.Config) nuba.Config { return c },
+		"2x (12 MB)":  func(c nuba.Config) nuba.Config { return c.WithLLCCapacity(2) },
+	})
+}
+
+func (r *Runner) fig14Page() (string, error) {
+	return r.sensitivity("Page size", map[string]func(nuba.Config) nuba.Config{
+		"4 KB": func(c nuba.Config) nuba.Config { return c },
+		"2 MB": func(c nuba.Config) nuba.Config { c.PageSize = 2 << 20; return c },
+	})
+}
+
+// fig14AddrMap compares NUBA (fixed-channel) against UBA with PAE.
+func (r *Runner) fig14AddrMap() (string, error) {
+	ubaPAE := r.scaled(nuba.Baseline())
+	ubaPAE.AddressMap = nuba.PAE
+	nub := r.scaled(nuba.NUBAConfig())
+	var low, high []float64
+	for _, b := range r.opts.Benchmarks {
+		ub, err := r.run(ubaPAE, b)
+		if err != nil {
+			return "", err
+		}
+		nb, err := r.run(nub, b)
+		if err != nil {
+			return "", err
+		}
+		s := float64(ub.Stats.Cycles) / float64(nb.Stats.Cycles)
+		if b.High {
+			high = append(high, s)
+		} else {
+			low = append(low, s)
+		}
+	}
+	var bld strings.Builder
+	groupSummary(&bld, "NUBA vs UBA+PAE", low, high)
+	bld.WriteString("(paper: +19.7% average improvement over UBA with PAE)\n")
+	return bld.String(), nil
+}
+
+func (r *Runner) fig14LAB() (string, error) {
+	base := r.scaled(nuba.Baseline())
+	t := &metrics.Table{Header: []string{"LAB threshold", "vs UBA (low)", "(high)", "(all)"}}
+	for _, th := range []float64{0.8, 0.9, 0.95} {
+		cfg := r.scaled(nuba.NUBAConfig())
+		cfg.Replication = nuba.NoRep
+		cfg.LABThreshold = th
+		var low, high []float64
+		for _, b := range r.opts.Benchmarks {
+			ub, err := r.run(base, b)
+			if err != nil {
+				return "", err
+			}
+			nb, err := r.run(cfg, b)
+			if err != nil {
+				return "", err
+			}
+			s := float64(ub.Stats.Cycles) / float64(nb.Stats.Cycles)
+			if b.High {
+				high = append(high, s)
+			} else {
+				low = append(low, s)
+			}
+		}
+		all := append(append([]float64{}, low...), high...)
+		t.AddRow(fmt.Sprintf("%.2f", th), pct(summarize(low)), pct(summarize(high)), pct(summarize(all)))
+	}
+	var bld strings.Builder
+	bld.WriteString(t.String())
+	bld.WriteString("(paper: 0.8 -> +14.5%, 0.9 -> +14.8%, 0.95 -> +13.1% vs UBA)\n")
+	return bld.String(), nil
+}
+
+// fig16 compares UBA and NUBA in the four-module MCM configuration
+// against the monolithic 2x GPU.
+func (r *Runner) fig16() (string, error) {
+	monoUBA := r.scaled(nuba.Baseline().Scale(2))
+	monoNUBA := r.scaled(nuba.NUBAConfig().Scale(2))
+	mcmUBA := r.scaled(nuba.MCMConfig(nuba.UBAMem))
+	mcmNUBA := r.scaled(nuba.MCMConfig(nuba.NUBA))
+	var monoLow, monoHigh, mcmLow, mcmHigh []float64
+	for _, b := range r.opts.Benchmarks {
+		mu, err := r.run(monoUBA, b)
+		if err != nil {
+			return "", err
+		}
+		mn, err := r.run(monoNUBA, b)
+		if err != nil {
+			return "", err
+		}
+		xu, err := r.run(mcmUBA, b)
+		if err != nil {
+			return "", err
+		}
+		xn, err := r.run(mcmNUBA, b)
+		if err != nil {
+			return "", err
+		}
+		sMono := float64(mu.Stats.Cycles) / float64(mn.Stats.Cycles)
+		sMCM := float64(xu.Stats.Cycles) / float64(xn.Stats.Cycles)
+		if b.High {
+			monoHigh = append(monoHigh, sMono)
+			mcmHigh = append(mcmHigh, sMCM)
+		} else {
+			monoLow = append(monoLow, sMono)
+			mcmLow = append(mcmLow, sMCM)
+		}
+	}
+	var bld strings.Builder
+	groupSummary(&bld, "monolithic 2x NUBA vs UBA", monoLow, monoHigh)
+	groupSummary(&bld, "MCM 4-module NUBA vs UBA ", mcmLow, mcmHigh)
+	bld.WriteString("(paper: +30.1% monolithic vs +40.0% MCM)\n")
+	return bld.String(), nil
+}
+
+// altPlacement compares LAB against the §7.6 alternatives.
+func (r *Runner) altPlacement() (string, error) {
+	lab := r.scaled(nuba.NUBAConfig())
+	mig := r.scaled(nuba.NUBAConfig())
+	mig.Placement = nuba.Migration
+	rep := r.scaled(nuba.NUBAConfig())
+	rep.Placement = nuba.PageReplication
+	base := r.scaled(nuba.Baseline())
+	t := &metrics.Table{Header: []string{"Bench", "Class", "LAB", "Migration", "PageRep", "Migrations", "PageReplicas"}}
+	for _, b := range r.opts.Benchmarks {
+		ub, err := r.run(base, b)
+		if err != nil {
+			return "", err
+		}
+		rl, err := r.run(lab, b)
+		if err != nil {
+			return "", err
+		}
+		rm, err := r.run(mig, b)
+		if err != nil {
+			return "", err
+		}
+		rp, err := r.run(rep, b)
+		if err != nil {
+			return "", err
+		}
+		cls := "low"
+		if b.High {
+			cls = "high"
+		}
+		t.AddRow(b.Abbr, cls, pct(speedupPct(rl, ub)), pct(speedupPct(rm, ub)), pct(speedupPct(rp, ub)),
+			fmt.Sprintf("%d", rm.Stats.PageMigrations), fmt.Sprintf("%d", rp.Stats.PageReplicas))
+	}
+	var bld strings.Builder
+	bld.WriteString(t.String())
+	bld.WriteString("(paper: migration/replication ~+26% on low-sharing but up to -80.4% on high-sharing)\n")
+	return bld.String(), nil
+}

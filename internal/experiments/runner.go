@@ -1,0 +1,175 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 7) on the simulator: each experiment is a named
+// recipe that runs the required {architecture, policy, benchmark}
+// combinations and prints rows in the shape the paper reports. See
+// DESIGN.md for the experiment index.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/nuba-gpu/nuba"
+	"github.com/nuba-gpu/nuba/internal/metrics"
+	"github.com/nuba-gpu/nuba/internal/workload"
+)
+
+// Options configure a Runner.
+type Options struct {
+	// Benchmarks restricts the workload set (default: the full suite).
+	Benchmarks []workload.Benchmark
+	// Scale scales the GPU size (1.0 = the 64-SM baseline). Experiments
+	// that sweep GPU size ignore it.
+	Scale float64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// Runner executes experiments, memoizing runs shared between figures
+// (fig7/fig8/fig9/fig13 all reuse the iso-resource runs).
+type Runner struct {
+	opts  Options
+	cache map[string]*nuba.Result
+}
+
+// NewRunner returns a Runner.
+func NewRunner(opts Options) *Runner {
+	if opts.Scale == 0 {
+		opts.Scale = 1
+	}
+	if len(opts.Benchmarks) == 0 {
+		opts.Benchmarks = workload.Suite()
+	}
+	return &Runner{opts: opts, cache: make(map[string]*nuba.Result)}
+}
+
+// Experiment is a named, runnable reproduction of one paper artifact.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(r *Runner) (string, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"table2", "Table 2: benchmark suite and footprints", (*Runner).table2},
+		{"fig3", "Figure 3: memory page sharing degree", (*Runner).fig3},
+		{"fig7", "Figure 7: iso-resource speedup over UBA", (*Runner).fig7},
+		{"fig8", "Figure 8: perceived bandwidth (replies/cycle)", (*Runner).fig8},
+		{"fig9", "Figure 9: L1 miss breakdown (local/remote)", (*Runner).fig9},
+		{"fig10", "Figure 10: performance vs NoC power", (*Runner).fig10},
+		{"fig11", "Figure 11: page allocation policies", (*Runner).fig11},
+		{"fig12", "Figure 12: data replication policies", (*Runner).fig12},
+		{"fig13", "Figure 13: GPU energy breakdown", (*Runner).fig13},
+		{"fig14-size", "Figure 14: GPU size sensitivity", (*Runner).fig14Size},
+		{"fig14-partition", "Figure 14: LLC slices per partition", (*Runner).fig14Partition},
+		{"fig14-llc", "Figure 14: LLC capacity sensitivity", (*Runner).fig14LLC},
+		{"fig14-page", "Figure 14: page size sensitivity", (*Runner).fig14Page},
+		{"fig14-addrmap", "Figure 14: PAE address mapping", (*Runner).fig14AddrMap},
+		{"fig14-lab", "Figure 14: LAB threshold sensitivity", (*Runner).fig14LAB},
+		{"fig16", "Figure 16: MCM-GPU", (*Runner).fig16},
+		{"alt-placement", "Section 7.6: migration / page replication", (*Runner).altPlacement},
+	}
+}
+
+// ByName returns the named experiment.
+func ByName(name string) (Experiment, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// Names lists the experiment names.
+func Names() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.Name)
+	}
+	return out
+}
+
+// run executes (or returns the memoized) result of one configuration and
+// benchmark.
+func (r *Runner) run(cfg nuba.Config, b workload.Benchmark) (*nuba.Result, error) {
+	key := cfg.Name() + "|" + fmt.Sprintf("s%.2f|p%d|%v|t%.2f|m%v|%d|%d|%d",
+		r.opts.Scale, cfg.PageSize, cfg.AddressMap, cfg.LABThreshold, cfg.NumModules,
+		cfg.NumSMs, cfg.NumLLCSlices, cfg.LLCSliceBytes) + "|" + b.Abbr
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	res, err := nuba.Run(cfg, b)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", b.Abbr, cfg.Name(), err)
+	}
+	if r.opts.Progress != nil {
+		fmt.Fprintf(r.opts.Progress, "  ran %-7s on %-28s cycles=%-9d ipc=%.2f local=%.2f\n",
+			b.Abbr, cfg.Name(), res.Stats.Cycles, res.Stats.IPC(), res.Stats.LocalFraction())
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// scaled applies the Runner's GPU scale to a configuration.
+func (r *Runner) scaled(cfg nuba.Config) nuba.Config {
+	if r.opts.Scale != 1 {
+		cfg = cfg.Scale(r.opts.Scale)
+	}
+	return cfg
+}
+
+// The four headline iso-resource configurations of Section 7.
+func (r *Runner) isoConfigs() map[string]nuba.Config {
+	ubaMem := r.scaled(nuba.Baseline())
+	ubaSM := r.scaled(nuba.SMSideConfig())
+	noRep := r.scaled(nuba.NUBAConfig())
+	noRep.Replication = nuba.NoRep
+	full := r.scaled(nuba.NUBAConfig())
+	return map[string]nuba.Config{
+		"UBA-mem":     ubaMem,
+		"UBA-SM":      ubaSM,
+		"NUBA-No-Rep": noRep,
+		"NUBA":        full,
+	}
+}
+
+// speedupPct returns (base/cand - 1) * 100.
+func speedupPct(cand, base *nuba.Result) float64 {
+	if cand.Stats.Cycles == 0 {
+		return 0
+	}
+	return (float64(base.Stats.Cycles)/float64(cand.Stats.Cycles) - 1) * 100
+}
+
+// summarize computes the paper-style harmonic-mean improvement for a set
+// of per-benchmark speedups (given as multiplicative speedups).
+func summarize(speedups []float64) float64 {
+	return (metrics.HarmonicMeanSpeedup(speedups) - 1) * 100
+}
+
+// groupSummary renders Low/High/All harmonic-mean improvements.
+func groupSummary(b *strings.Builder, label string, low, high []float64) {
+	all := append(append([]float64{}, low...), high...)
+	fmt.Fprintf(b, "%s: low-sharing %+.1f%%  high-sharing %+.1f%%  all %+.1f%%\n",
+		label, summarize(low), summarize(high), summarize(all))
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func pct(x float64) string { return fmt.Sprintf("%+.1f%%", x) }
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func mbs(x float64) string { return fmt.Sprintf("%.2f MB", x) }

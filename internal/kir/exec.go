@@ -1,0 +1,609 @@
+package kir
+
+import (
+	"fmt"
+
+	"github.com/nuba-gpu/nuba/internal/sim"
+)
+
+// Launch binds a kernel to a grid and its memory: the simulator's
+// equivalent of a CUDA kernel launch.
+type Launch struct {
+	Kernel *Kernel
+	// GridDim is the number of CTAs; CTAThreads the threads per CTA
+	// (a multiple of WarpSize).
+	GridDim    int
+	CTAThreads int
+	// Scalars are the values of the scalar parameters, in order.
+	Scalars []int64
+	// Buffers bind the pointer parameters, in order.
+	Buffers []Binding
+}
+
+// Binding places one buffer parameter in the virtual address space.
+type Binding struct {
+	// Base is the virtual base address (page aligned by convention).
+	Base uint64
+	// Size is the buffer extent in bytes. Per-lane offsets wrap modulo
+	// Size so a kernel bug cannot touch unrelated address space.
+	Size uint64
+	// Value is the functional value model: loads of element i return
+	// Value(i). A nil Value reads as zero. The simulator stores no data;
+	// value models make data-dependent (irregular) addressing
+	// reproducible without a backing store.
+	Value func(elem int64) int64
+}
+
+// WarpsPerCTA returns the number of warps each CTA occupies.
+func (l *Launch) WarpsPerCTA() int { return (l.CTAThreads + WarpSize - 1) / WarpSize }
+
+// Validate checks the launch against its kernel.
+func (l *Launch) Validate() error {
+	k := l.Kernel
+	switch {
+	case k == nil:
+		return fmt.Errorf("kir: launch without kernel")
+	case !k.Analyzed:
+		return fmt.Errorf("kir: kernel %s not analyzed (run AnalyzeReadOnly)", k.Name)
+	case l.GridDim <= 0:
+		return fmt.Errorf("kir: %s: grid must be positive", k.Name)
+	case l.CTAThreads <= 0 || l.CTAThreads%WarpSize != 0:
+		return fmt.Errorf("kir: %s: CTA threads %d not a positive multiple of %d", k.Name, l.CTAThreads, WarpSize)
+	case len(l.Scalars) != len(k.ScalarParams):
+		return fmt.Errorf("kir: %s: %d scalars bound, kernel wants %d", k.Name, len(l.Scalars), len(k.ScalarParams))
+	case len(l.Buffers) != len(k.Buffers):
+		return fmt.Errorf("kir: %s: %d buffers bound, kernel wants %d", k.Name, len(l.Buffers), len(k.Buffers))
+	}
+	for i, b := range l.Buffers {
+		if b.Size == 0 {
+			return fmt.Errorf("kir: %s: buffer %s has zero size", k.Name, k.Buffers[i].Name)
+		}
+	}
+	return nil
+}
+
+// Value is a warp-wide 64-bit value: uniform (one scalar for all lanes) or
+// per-lane. The zero Value is uniform zero, so fresh register files are
+// valid.
+type Value struct {
+	lanes  *[WarpSize]int64
+	scalar int64
+}
+
+// Uniform reports whether all lanes share one scalar.
+func (v *Value) Uniform() bool { return v.lanes == nil }
+
+// Lane returns the value of the given lane.
+func (v *Value) Lane(l int) int64 {
+	if v.lanes == nil {
+		return v.scalar
+	}
+	return v.lanes[l]
+}
+
+// setUniform makes v uniform with the given scalar.
+func (v *Value) setUniform(x int64) { v.lanes, v.scalar = nil, x }
+
+// spread converts v to per-lane form.
+func (v *Value) spread() *[WarpSize]int64 {
+	if v.lanes == nil {
+		var a [WarpSize]int64
+		for i := range a {
+			a[i] = v.scalar
+		}
+		v.lanes = &a
+	}
+	return v.lanes
+}
+
+// MemInfo describes the memory access produced by executing a load, store
+// or atomic: the per-lane virtual addresses before coalescing.
+type MemInfo struct {
+	Buf       int
+	Store     bool
+	Atomic    bool
+	RO        bool
+	ElemBytes int
+	// Mask has a bit per lane that performs the access.
+	Mask uint32
+	// Addrs are the per-lane virtual byte addresses (valid where Mask).
+	Addrs [WarpSize]uint64
+}
+
+// StepKind classifies what an executed instruction asks of the SM.
+type StepKind uint8
+
+// Step kinds.
+const (
+	// StepCompute finished an arithmetic instruction; the destination
+	// register becomes ready after the op latency.
+	StepCompute StepKind = iota
+	// StepMem produced a memory access (details in the MemInfo the SM
+	// supplied).
+	StepMem
+	// StepBarrier arrived at a CTA barrier.
+	StepBarrier
+	// StepExit retired the warp.
+	StepExit
+)
+
+// StepInfo summarizes one executed instruction for the SM's timing model.
+type StepInfo struct {
+	Kind StepKind
+	// Op is the executed opcode.
+	Op Op
+	// DstReg is the general register written, or -1. The SM's
+	// scoreboard marks it pending until the result is available.
+	DstReg int8
+	// Latency is the compute latency for StepCompute.
+	Latency int64
+}
+
+// Warp is the architectural state of one warp.
+type Warp struct {
+	L *Launch
+	// CTA is the linear CTA index; WarpInCTA the warp index within it.
+	CTA       int
+	WarpInCTA int
+	PC        int
+	// ActiveMask has a bit per lane that exists (CTAThreads may leave a
+	// tail warp partially populated).
+	ActiveMask uint32
+	Regs       []Value
+	Preds      []uint32
+	Exited     bool
+	// tidLanes caches the per-lane %tid values.
+	tidLanes [WarpSize]int64
+}
+
+// laneIndex holds the per-lane %laneid values, shared by all warps.
+var laneIndex = func() (a [WarpSize]int64) {
+	for i := range a {
+		a[i] = int64(i)
+	}
+	return
+}()
+
+// laneRef is a resolved operand: either a scalar or a pointer to per-lane
+// values. It lets the interpreter's inner loops avoid per-lane switch
+// dispatch.
+type laneRef struct {
+	lanes  *[WarpSize]int64
+	scalar int64
+}
+
+func (r laneRef) at(l int) int64 {
+	if r.lanes != nil {
+		return r.lanes[l]
+	}
+	return r.scalar
+}
+
+// resolve evaluates an operand into a laneRef.
+func (w *Warp) resolve(o Operand) laneRef {
+	switch o.Kind {
+	case OpdReg:
+		v := &w.Regs[o.Val]
+		if v.lanes != nil {
+			return laneRef{lanes: v.lanes}
+		}
+		return laneRef{scalar: v.scalar}
+	case OpdImm:
+		return laneRef{scalar: o.Val}
+	case OpdParam:
+		return laneRef{scalar: w.L.Scalars[o.Val]}
+	case OpdSpecial:
+		switch Special(o.Val) {
+		case SpecTid:
+			return laneRef{lanes: &w.tidLanes}
+		case SpecCtaid:
+			return laneRef{scalar: int64(w.CTA)}
+		case SpecNtid:
+			return laneRef{scalar: int64(w.L.CTAThreads)}
+		case SpecNctaid:
+			return laneRef{scalar: int64(w.L.GridDim)}
+		case SpecWarpid:
+			return laneRef{scalar: int64(w.WarpInCTA)}
+		case SpecLaneid:
+			return laneRef{lanes: &laneIndex}
+		}
+	}
+	return laneRef{}
+}
+
+// NewWarp returns warp warpInCTA of CTA cta, ready at PC 0.
+func NewWarp(l *Launch, cta, warpInCTA int) *Warp {
+	threads := l.CTAThreads - warpInCTA*WarpSize
+	if threads > WarpSize {
+		threads = WarpSize
+	}
+	var mask uint32
+	if threads >= 32 {
+		mask = ^uint32(0)
+	} else {
+		mask = (1 << uint(threads)) - 1
+	}
+	w := &Warp{
+		L:          l,
+		CTA:        cta,
+		WarpInCTA:  warpInCTA,
+		ActiveMask: mask,
+		Regs:       make([]Value, l.Kernel.NumRegs),
+		Preds:      make([]uint32, l.Kernel.NumPreds),
+	}
+	for i := range w.tidLanes {
+		w.tidLanes[i] = int64(warpInCTA*WarpSize + i)
+	}
+	return w
+}
+
+// Current returns the instruction at PC, or nil if the warp has exited.
+func (w *Warp) Current() *Instr {
+	if w.Exited {
+		return nil
+	}
+	return &w.L.Kernel.Code[w.PC]
+}
+
+// guardMask returns the lanes that execute the current instruction.
+func (w *Warp) guardMask(in *Instr) uint32 {
+	m := w.ActiveMask
+	if in.Pred >= 0 {
+		p := w.Preds[in.Pred]
+		if in.PredNeg {
+			p = ^p
+		}
+		m &= p
+	}
+	return m
+}
+
+// operand evaluates o for one lane.
+func (w *Warp) operand(o Operand, lane int) int64 {
+	switch o.Kind {
+	case OpdReg:
+		return w.Regs[o.Val].Lane(lane)
+	case OpdImm:
+		return o.Val
+	case OpdParam:
+		return w.L.Scalars[o.Val]
+	case OpdSpecial:
+		switch Special(o.Val) {
+		case SpecTid:
+			return int64(w.WarpInCTA*WarpSize + lane)
+		case SpecCtaid:
+			return int64(w.CTA)
+		case SpecNtid:
+			return int64(w.L.CTAThreads)
+		case SpecNctaid:
+			return int64(w.L.GridDim)
+		case SpecWarpid:
+			return int64(w.WarpInCTA)
+		case SpecLaneid:
+			return int64(lane)
+		}
+	}
+	return 0
+}
+
+// operandUniform evaluates o if it is warp-uniform.
+func (w *Warp) operandUniform(o Operand) (int64, bool) {
+	switch o.Kind {
+	case OpdReg:
+		v := &w.Regs[o.Val]
+		if v.Uniform() {
+			return v.scalar, true
+		}
+		return 0, false
+	case OpdImm:
+		return o.Val, true
+	case OpdParam:
+		return w.L.Scalars[o.Val], true
+	case OpdSpecial:
+		switch Special(o.Val) {
+		case SpecCtaid:
+			return int64(w.CTA), true
+		case SpecNtid:
+			return int64(w.L.CTAThreads), true
+		case SpecNctaid:
+			return int64(w.L.GridDim), true
+		case SpecWarpid:
+			return int64(w.WarpInCTA), true
+		default:
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+func alu(op Op, a, b, c int64) int64 {
+	switch op {
+	case OpMov, OpFma:
+		return a
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpMad:
+		return a*b + c
+	case OpShl:
+		return a << uint64(b&63)
+	case OpShr:
+		return int64(uint64(a) >> uint64(b&63))
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpDiv:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case OpRem:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case OpHash:
+		return int64(sim.Mix(uint64(a)))
+	default:
+		panic("kir: alu on non-alu op " + op.String())
+	}
+}
+
+func compare(c Cmp, a, b int64) bool {
+	switch c {
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	case CmpGT:
+		return a > b
+	case CmpGE:
+		return a >= b
+	case CmpEQ:
+		return a == b
+	default:
+		return a != b
+	}
+}
+
+// writeReg writes per-lane results into register d under mask, keeping the
+// uniform fast path when the whole warp writes the same scalar.
+func (w *Warp) writeReg(d int8, mask uint32, full bool, uniformVal int64, uniformOK bool, f func(lane int) int64) {
+	r := &w.Regs[d]
+	if full && uniformOK {
+		r.setUniform(uniformVal)
+		return
+	}
+	lanes := r.spread()
+	for l := 0; l < WarpSize; l++ {
+		if mask&(1<<uint(l)) != 0 {
+			if uniformOK {
+				lanes[l] = uniformVal
+			} else {
+				lanes[l] = f(l)
+			}
+		}
+	}
+}
+
+// Exec executes the instruction at PC, applies its architectural effects
+// (register/predicate writes, PC update) and returns timing information.
+// For memory operations the per-lane addresses and dest-value writes are
+// produced immediately (the value model is functional); the SM is
+// responsible for charging latency via its scoreboard. mem must be
+// non-nil; it is overwritten when the result kind is StepMem.
+func (w *Warp) Exec(mem *MemInfo) StepInfo {
+	in := w.Current()
+	if in == nil {
+		return StepInfo{Kind: StepExit, DstReg: -1}
+	}
+	mask := w.guardMask(in)
+	full := mask == w.ActiveMask
+
+	switch in.Op {
+	case OpExit:
+		w.Exited = true
+		w.PC++
+		return StepInfo{Kind: StepExit, Op: in.Op, DstReg: -1}
+
+	case OpBar:
+		w.PC++
+		return StepInfo{Kind: StepBarrier, Op: in.Op, DstReg: -1}
+
+	case OpBra:
+		taken := mask != 0
+		if taken && mask != w.ActiveMask {
+			panic(fmt.Sprintf("kir: %s: divergent branch at line %d (mask %08x of %08x)",
+				w.L.Kernel.Name, in.Line, mask, w.ActiveMask))
+		}
+		if taken {
+			w.PC = int(in.Target)
+		} else {
+			w.PC++
+		}
+		return StepInfo{Kind: StepCompute, Op: in.Op, DstReg: -1, Latency: in.Op.Latency()}
+
+	case OpSetp:
+		var m uint32
+		ra, rb := w.resolve(in.Src[0]), w.resolve(in.Src[1])
+		if ra.lanes == nil && rb.lanes == nil {
+			if compare(in.Cmp, ra.scalar, rb.scalar) {
+				m = ^uint32(0)
+			}
+		} else {
+			for l := 0; l < WarpSize; l++ {
+				if compare(in.Cmp, ra.at(l), rb.at(l)) {
+					m |= 1 << uint(l)
+				}
+			}
+		}
+		w.Preds[in.Dst] = (w.Preds[in.Dst] &^ mask) | (m & mask)
+		w.PC++
+		return StepInfo{Kind: StepCompute, Op: in.Op, DstReg: -1, Latency: in.Op.Latency()}
+
+	case OpSel:
+		pm := w.Preds[in.PredSrc]
+		ra, rb := w.resolve(in.Src[0]), w.resolve(in.Src[1])
+		dst := w.Regs[in.Dst].spread()
+		for l := 0; l < WarpSize; l++ {
+			if mask&(1<<uint(l)) == 0 {
+				continue
+			}
+			if pm&(1<<uint(l)) != 0 {
+				dst[l] = ra.at(l)
+			} else {
+				dst[l] = rb.at(l)
+			}
+		}
+		w.PC++
+		return StepInfo{Kind: StepCompute, Op: in.Op, DstReg: in.Dst, Latency: in.Op.Latency()}
+
+	case OpLd, OpLdRO, OpSt, OpAtom:
+		w.execMem(in, mask, mem)
+		w.PC++
+		dst := int8(-1)
+		if in.Op != OpSt {
+			dst = in.Dst
+		}
+		kind := StepMem
+		if mask == 0 {
+			kind = StepCompute // fully predicated off: no access
+		}
+		return StepInfo{Kind: kind, Op: in.Op, DstReg: dst, Latency: 1}
+
+	default: // ALU
+		ra := w.resolve(in.Src[0])
+		rb := w.resolve(in.Src[1])
+		rc := w.resolve(in.Src[2])
+		if ra.lanes == nil && rb.lanes == nil && rc.lanes == nil {
+			v := alu(in.Op, ra.scalar, rb.scalar, rc.scalar)
+			if full {
+				w.Regs[in.Dst].setUniform(v)
+			} else {
+				dst := w.Regs[in.Dst].spread()
+				for l := 0; l < WarpSize; l++ {
+					if mask&(1<<uint(l)) != 0 {
+						dst[l] = v
+					}
+				}
+			}
+		} else {
+			dst := w.Regs[in.Dst].spread()
+			switch op := in.Op; op {
+			// Specialized loops for the hottest opcodes avoid the alu()
+			// switch per lane.
+			case OpAdd:
+				for l := 0; l < WarpSize; l++ {
+					if mask&(1<<uint(l)) != 0 {
+						dst[l] = ra.at(l) + rb.at(l)
+					}
+				}
+			case OpMul:
+				for l := 0; l < WarpSize; l++ {
+					if mask&(1<<uint(l)) != 0 {
+						dst[l] = ra.at(l) * rb.at(l)
+					}
+				}
+			case OpMad:
+				for l := 0; l < WarpSize; l++ {
+					if mask&(1<<uint(l)) != 0 {
+						dst[l] = ra.at(l)*rb.at(l) + rc.at(l)
+					}
+				}
+			case OpShl:
+				for l := 0; l < WarpSize; l++ {
+					if mask&(1<<uint(l)) != 0 {
+						dst[l] = ra.at(l) << uint64(rb.at(l)&63)
+					}
+				}
+			default:
+				for l := 0; l < WarpSize; l++ {
+					if mask&(1<<uint(l)) != 0 {
+						dst[l] = alu(op, ra.at(l), rb.at(l), rc.at(l))
+					}
+				}
+			}
+		}
+		w.PC++
+		return StepInfo{Kind: StepCompute, Op: in.Op, DstReg: in.Dst, Latency: in.Op.Latency()}
+	}
+}
+
+// execMem fills mem with the access produced by a ld/st/atom instruction
+// and applies the load's register write from the buffer's value model.
+func (w *Warp) execMem(in *Instr, mask uint32, mem *MemInfo) {
+	b := &w.L.Buffers[in.Buf]
+	elem := int64(in.ElemBytes)
+	mem.Buf = int(in.Buf)
+	mem.Store = in.Op == OpSt
+	mem.Atomic = in.Op == OpAtom
+	mem.RO = in.Op == OpLdRO
+	mem.ElemBytes = int(in.ElemBytes)
+	mem.Mask = mask
+	if mask == 0 {
+		return
+	}
+	size := b.Size
+	ro := w.resolve(in.Src[0])
+	isLoad := in.Op == OpLd || in.Op == OpLdRO || in.Op == OpAtom
+	var dst *[WarpSize]int64
+	if isLoad {
+		dst = w.Regs[in.Dst].spread()
+	}
+	for l := 0; l < WarpSize; l++ {
+		if mask&(1<<uint(l)) == 0 {
+			continue
+		}
+		off := uint64(ro.at(l))
+		if off+uint64(elem) > size {
+			off %= size // wrap rather than escape the buffer
+			off -= off % uint64(elem)
+		}
+		mem.Addrs[l] = b.Base + off
+		if isLoad {
+			if b.Value != nil {
+				dst[l] = b.Value(int64(off) / elem)
+			} else {
+				dst[l] = 0
+			}
+		}
+	}
+}
+
+// InstrRegs returns the general registers an instruction reads (for the
+// SM scoreboard); dst is its written register or -1.
+func InstrRegs(in *Instr) (srcs [4]int8, n int, dst int8) {
+	dst = -1
+	add := func(o Operand) {
+		if o.Kind == OpdReg {
+			srcs[n] = int8(o.Val)
+			n++
+		}
+	}
+	add(in.Src[0])
+	add(in.Src[1])
+	add(in.Src[2])
+	switch in.Op {
+	case OpSetp, OpBra, OpBar, OpExit, OpSt:
+		// no general dest
+	default:
+		dst = in.Dst
+	}
+	return srcs, n, dst
+}

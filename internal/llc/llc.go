@@ -1,0 +1,356 @@
+// Package llc implements the NUBA LLC slice microarchitecture of Figure 5:
+// a Local Memory Request (LMR) queue fed by the partition's point-to-point
+// links, a Remote Memory Request (RMR) queue fed by the inter-partition
+// NoC, a round-robin arbiter that issues one request per cycle into the
+// tag/data pipeline, an MSHR file, and the attachment to the partition's
+// memory controller. The same slice model (with different wiring) serves
+// the memory-side and SM-side UBA baselines.
+//
+// Replication (Section 5) reuses the slice unchanged: a request for a
+// remote home line that MDR chose to replicate arrives with ReplicaSlice
+// set to this slice; a hit serves it locally, a miss forwards it to the
+// home slice over the NoC and the returning line is installed as a
+// replica.
+package llc
+
+import (
+	"fmt"
+	"github.com/nuba-gpu/nuba/internal/cache"
+	"github.com/nuba-gpu/nuba/internal/config"
+	"github.com/nuba-gpu/nuba/internal/metrics"
+	"github.com/nuba-gpu/nuba/internal/sim"
+)
+
+// outcomeKind classifies what happens when a request leaves the tag
+// pipeline.
+type outcomeKind uint8
+
+const (
+	outReply    outcomeKind = iota // data ready: reply toward the SM
+	outToMem                       // LLC miss: issue to the memory controller
+	outForward                     // replica miss: forward to the home slice
+	outStoreAck                    // store committed at the LLC
+)
+
+type completion struct {
+	ready sim.Cycle
+	kind  outcomeKind
+	req   *sim.MemReq
+}
+
+// Slice is one LLC slice.
+type Slice struct {
+	ID   int
+	Part int
+
+	cfg   *config.Config
+	stats *metrics.Stats
+
+	tags *cache.Cache
+	mshr *cache.MSHRFile
+
+	lmr *sim.Queue[*sim.MemReq]
+	rmr *sim.Queue[*sim.MemReq]
+	// rrNextRemote implements the Figure 5 round-robin arbiter between
+	// the LMR and RMR queues.
+	rrNextRemote bool
+
+	pipe   *sim.Queue[completion]
+	outbox *sim.Queue[completion] // completions awaiting downstream space
+
+	// Wiring installed by the core.
+	//
+	// SendReply carries data (or a replica-path reply) toward the SM or
+	// the replica slice; SendMiss issues a fill or writeback to the
+	// memory controller; SendForward routes a replica miss to the home
+	// slice over the NoC; StoreDone signals a committed store so the SM
+	// can retire it (modeled without wire traffic, see DESIGN.md).
+	SendReply   func(req *sim.MemReq, now sim.Cycle) bool
+	SendMiss    func(req *sim.MemReq, now sim.Cycle) bool
+	SendForward func(req *sim.MemReq, now sim.Cycle) bool
+	StoreDone   func(req *sim.MemReq, now sim.Cycle)
+
+	// Invalidations counts coherence invalidations applied (SM-side UBA).
+	Invalidations int64
+}
+
+// New returns slice id in partition part.
+func New(id, part int, cfg *config.Config, stats *metrics.Stats) *Slice {
+	sets := cfg.LLCSets()
+	return &Slice{
+		ID:    id,
+		Part:  part,
+		cfg:   cfg,
+		stats: stats,
+		tags:  cache.New(sets, cfg.LLCWays, cache.WriteBack),
+		mshr:  cache.NewMSHRFile(cfg.LLCMSHRs),
+		// The LMR/RMR queues are elastic: a bounded queue here would let
+		// a blocked request stall replies sharing the same physical
+		// network and deadlock the protocol. Real crossbars avoid that
+		// with virtual channels and credits; the elastic queue models
+		// the same guarantee (requests always sink at the slice) while
+		// the MSHR file still bounds the misses a slice can have in
+		// flight, so queueing delay under congestion is preserved.
+		lmr:    sim.NewQueue[*sim.MemReq](0),
+		rmr:    sim.NewQueue[*sim.MemReq](0),
+		pipe:   sim.NewQueue[completion](0),
+		outbox: sim.NewQueue[completion](0),
+	}
+}
+
+// Tags exposes the tag array (flushes, tests, occupancy probes).
+func (s *Slice) Tags() *cache.Cache { return s.tags }
+
+// EnqueueLocal offers a request to the LMR queue.
+func (s *Slice) EnqueueLocal(req *sim.MemReq) bool { return s.lmr.Push(req) }
+
+// EnqueueRemote offers a request to the RMR queue.
+func (s *Slice) EnqueueRemote(req *sim.MemReq) bool { return s.rmr.Push(req) }
+
+// CanAcceptLocal reports whether the LMR queue has room (always true for
+// the elastic queue; kept for call-site symmetry).
+func (s *Slice) CanAcceptLocal() bool { return !s.lmr.Full() }
+
+// CanAcceptRemote reports whether the RMR queue has room (always true for
+// the elastic queue; kept for call-site symmetry).
+func (s *Slice) CanAcceptRemote() bool { return !s.rmr.Full() }
+
+// Pending reports whether the slice still holds work.
+func (s *Slice) Pending() bool {
+	return !s.lmr.Empty() || !s.rmr.Empty() || !s.pipe.Empty() ||
+		!s.outbox.Empty() || s.mshr.Len() > 0
+}
+
+// Flush invalidates the whole slice (kernel-boundary software coherence),
+// sending writebacks for dirty lines straight to the memory controller
+// queue via SendMiss; lines that cannot be queued are retried by the
+// caller draining the outbox.
+func (s *Slice) Flush(now sim.Cycle) {
+	for _, line := range s.tags.InvalidateAll() {
+		wb := &sim.MemReq{Kind: sim.Store, Addr: line, Size: sim.LineSize, SM: -1, Slice: s.ID, ReplicaSlice: -1}
+		s.outbox.Push(completion{ready: now, kind: outToMem, req: wb})
+	}
+}
+
+// DropReplicas invalidates replica lines (MDR turning off, or kernel
+// boundary) and returns the count.
+func (s *Slice) DropReplicas() int { return s.tags.InvalidateReplicas() }
+
+// Tick advances the slice one cycle: deliver finished completions, then
+// arbitrate one request into the tag pipeline.
+func (s *Slice) Tick(now sim.Cycle) {
+	s.deliver(now)
+	s.retirePipe(now)
+	s.arbitrate(now)
+}
+
+// deliver drains the outbox in order; a send failure blocks the head
+// (back-pressure).
+func (s *Slice) deliver(now sim.Cycle) {
+	for {
+		c, ok := s.outbox.Peek()
+		if !ok || c.ready > now {
+			return
+		}
+		var sent bool
+		switch c.kind {
+		case outReply:
+			sent = s.SendReply(c.req, now)
+		case outToMem:
+			sent = s.SendMiss(c.req, now)
+		case outForward:
+			sent = s.SendForward(c.req, now)
+		case outStoreAck:
+			s.StoreDone(c.req, now)
+			sent = true
+		}
+		if !sent {
+			return
+		}
+		s.outbox.Pop()
+	}
+}
+
+// retirePipe moves completions whose tag/data latency elapsed into the
+// outbox.
+func (s *Slice) retirePipe(now sim.Cycle) {
+	for {
+		c, ok := s.pipe.Peek()
+		if !ok || c.ready > now {
+			return
+		}
+		s.pipe.Pop()
+		s.outbox.Push(c)
+	}
+}
+
+// arbitrate pops one request per cycle, alternating LMR/RMR when both
+// hold requests (Figure 5's round-robin selector).
+func (s *Slice) arbitrate(now sim.Cycle) {
+	var q *sim.Queue[*sim.MemReq]
+	switch {
+	case s.lmr.Empty() && s.rmr.Empty():
+		return
+	case s.lmr.Empty():
+		q = s.rmr
+	case s.rmr.Empty():
+		q = s.lmr
+	case s.rrNextRemote:
+		q = s.rmr
+	default:
+		q = s.lmr
+	}
+	req, _ := q.Peek()
+	if !s.process(req, now) {
+		return // stalled (MSHR full); leave at head and retry
+	}
+	q.Pop()
+	if q == s.lmr {
+		s.rrNextRemote = true
+	} else {
+		s.rrNextRemote = false
+	}
+}
+
+// process runs one request through the tag array. It returns false when
+// the request cannot proceed this cycle.
+func (s *Slice) process(req *sim.MemReq, now sim.Cycle) bool {
+	// Coherence invalidation (SM-side UBA): drop the line, no reply.
+	if req.Inval {
+		s.tags.Invalidate(req.Addr)
+		s.Invalidations++
+		s.stats.CoherenceInvalidations++
+		return true
+	}
+
+	done := now + s.cfg.LLCLatency
+	isReplicaPath := req.ReplicaSlice == s.ID && req.Slice != s.ID
+
+	switch req.Kind {
+	case sim.Store:
+		if req.SM < 0 {
+			// Writeback from an L1/flush path or another slice: commit.
+			s.stats.LLCAccesses++
+			victim, wb := s.tags.Insert(req.Addr, true, false, int64(now))
+			if wb {
+				s.pushWriteback(victim, done)
+			}
+			return true
+		}
+		s.stats.LLCAccesses++
+		victim, wb := s.tags.Insert(req.Addr, true, false, int64(now))
+		if wb {
+			s.pushWriteback(victim, done)
+		}
+		s.pipe.Push(completion{ready: done, kind: outStoreAck, req: req})
+		return true
+
+	case sim.Load, sim.Atomic:
+		s.stats.LLCAccesses++
+		hit := s.tags.Access(req.Addr, false, int64(now))
+		if hit {
+			s.stats.LLCHits++
+			if req.Kind == sim.Atomic {
+				// The raster-op unit updates the line in place.
+				s.tags.Insert(req.Addr, true, false, int64(now))
+			}
+			if isReplicaPath {
+				req.Replicated = true
+			}
+			s.pipe.Push(completion{ready: done, kind: outReply, req: req})
+			return true
+		}
+		s.stats.LLCMisses++
+		if _, merged, ok := s.mshr.Allocate(s.tags.LineAddr(req.Addr), req, now); !ok {
+			s.stats.LLCAccesses-- // retried next cycle; don't double count
+			s.stats.LLCMisses--
+			return false
+		} else if merged {
+			return true
+		}
+		if isReplicaPath {
+			s.pipe.Push(completion{ready: done, kind: outForward, req: req})
+		} else {
+			s.pipe.Push(completion{ready: done, kind: outToMem, req: req})
+		}
+		return true
+	}
+	return true
+}
+
+func (s *Slice) pushWriteback(victim uint64, at sim.Cycle) {
+	wb := &sim.MemReq{Kind: sim.Store, Addr: victim, Size: sim.LineSize, SM: -1, Slice: s.ID, ReplicaSlice: -1}
+	s.pipe.Push(completion{ready: at, kind: outToMem, req: wb})
+}
+
+// AcceptFill handles data returning from the memory controller (home
+// path) for an outstanding miss: install the line and reply to the
+// primary and all merged waiters.
+func (s *Slice) AcceptFill(req *sim.MemReq, now sim.Cycle) {
+	line := s.tags.LineAddr(req.Addr)
+	entry, ok := s.mshr.Release(line)
+	if !ok {
+		// Fill without an entry (flush raced): still answer the requester.
+		s.outbox.Push(completion{ready: now, kind: outReply, req: req})
+		return
+	}
+	dirty := false
+	for _, r := range append([]*sim.MemReq{entry.Primary}, entry.Waiters...) {
+		if r.Kind == sim.Atomic {
+			dirty = true
+		}
+	}
+	victim, wb := s.tags.Insert(line, dirty, false, int64(now))
+	if wb {
+		s.pushWriteback(victim, now)
+	}
+	s.outbox.Push(completion{ready: now, kind: outReply, req: entry.Primary})
+	for _, r := range entry.Waiters {
+		s.outbox.Push(completion{ready: now, kind: outReply, req: r})
+	}
+}
+
+// AcceptReplicaFill handles a reply returning over the NoC from the home
+// slice for a forwarded replica miss: install the line as a replica and
+// reply locally to the primary and merged waiters.
+func (s *Slice) AcceptReplicaFill(req *sim.MemReq, now sim.Cycle) {
+	line := s.tags.LineAddr(req.Addr)
+	entry, ok := s.mshr.Release(line)
+	if !ok {
+		s.outbox.Push(completion{ready: now, kind: outReply, req: req})
+		return
+	}
+	victim, wb := s.tags.Insert(line, false, true, int64(now))
+	if wb {
+		s.pushWriteback(victim, now)
+	}
+	entry.Primary.Replicated = true
+	s.outbox.Push(completion{ready: now, kind: outReply, req: entry.Primary})
+	for _, r := range entry.Waiters {
+		r.Replicated = true
+		s.outbox.Push(completion{ready: now, kind: outReply, req: r})
+	}
+}
+
+// InvalidateLine applies a coherence invalidation immediately (used by
+// the SM-side UBA write path when modeled without queueing).
+func (s *Slice) InvalidateLine(addr uint64) bool {
+	found, _ := s.tags.Invalidate(addr)
+	if found {
+		s.Invalidations++
+	}
+	return found
+}
+
+// HitRate returns the tag-array hit rate since the last reset.
+func (s *Slice) HitRate() float64 { return s.tags.HitRate() }
+
+// DebugState summarizes queue occupancy for stall diagnosis.
+func (s *Slice) DebugState() string {
+	return fmt.Sprintf("lmr=%d rmr=%d pipe=%d outbox=%d mshr=%d",
+		s.lmr.Len(), s.rmr.Len(), s.pipe.Len(), s.outbox.Len(), s.mshr.Len())
+}
+
+// MSHRStalls returns how many cycles the slice stalled on a full MSHR
+// file.
+func (s *Slice) MSHRStalls() int64 { return s.mshr.StallsFull }

@@ -1,0 +1,243 @@
+package llc
+
+import (
+	"testing"
+
+	"github.com/nuba-gpu/nuba/internal/config"
+	"github.com/nuba-gpu/nuba/internal/metrics"
+	"github.com/nuba-gpu/nuba/internal/sim"
+)
+
+// harness wires a slice to in-memory sinks.
+type harness struct {
+	s        *Slice
+	replies  []*sim.MemReq
+	misses   []*sim.MemReq
+	forwards []*sim.MemReq
+	acks     []*sim.MemReq
+	blockMem bool
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	cfg := config.Baseline()
+	st := &metrics.Stats{}
+	h := &harness{s: New(2, 1, &cfg, st)}
+	h.s.SendReply = func(r *sim.MemReq, _ sim.Cycle) bool { h.replies = append(h.replies, r); return true }
+	h.s.SendMiss = func(r *sim.MemReq, _ sim.Cycle) bool {
+		if h.blockMem {
+			return false
+		}
+		h.misses = append(h.misses, r)
+		return true
+	}
+	h.s.SendForward = func(r *sim.MemReq, _ sim.Cycle) bool { h.forwards = append(h.forwards, r); return true }
+	h.s.StoreDone = func(r *sim.MemReq, _ sim.Cycle) { h.acks = append(h.acks, r) }
+	return h
+}
+
+func (h *harness) run(from, to sim.Cycle) {
+	for now := from; now <= to; now++ {
+		h.s.Tick(now)
+	}
+}
+
+func load(id uint64, addr uint64, sm int) *sim.MemReq {
+	return &sim.MemReq{ID: id, Kind: sim.Load, Addr: addr, SM: sm, Slice: 2, ReplicaSlice: -1}
+}
+
+func TestLoadMissGoesToMemoryThenReplies(t *testing.T) {
+	h := newHarness(t)
+	r := load(1, 0x1000, 0)
+	h.s.EnqueueLocal(r)
+	h.run(1, 200)
+	if len(h.misses) != 1 || h.misses[0] != r {
+		t.Fatalf("miss not forwarded: %d", len(h.misses))
+	}
+	if len(h.replies) != 0 {
+		t.Fatal("premature reply")
+	}
+	h.s.AcceptFill(r, 200)
+	h.run(201, 205)
+	if len(h.replies) != 1 {
+		t.Fatal("fill produced no reply")
+	}
+	// Second access to the same line now hits.
+	r2 := load(2, 0x1000, 1)
+	h.s.EnqueueLocal(r2)
+	h.run(206, 400)
+	if len(h.misses) != 1 {
+		t.Fatal("hit went to memory")
+	}
+	if len(h.replies) != 2 {
+		t.Fatal("hit produced no reply")
+	}
+}
+
+func TestLLCLatencyRespected(t *testing.T) {
+	h := newHarness(t)
+	cfgLat := sim.Cycle(120)
+	r := load(1, 0x40, 0)
+	h.s.EnqueueLocal(r)
+	var missAt sim.Cycle
+	h.s.SendMiss = func(q *sim.MemReq, now sim.Cycle) bool { missAt = now; h.misses = append(h.misses, q); return true }
+	h.run(1, 300)
+	if missAt < cfgLat {
+		t.Fatalf("miss left the slice at %d, before the %d-cycle pipeline", missAt, cfgLat)
+	}
+}
+
+func TestMSHRMergesSecondMiss(t *testing.T) {
+	h := newHarness(t)
+	a, b := load(1, 0x2000, 0), load(2, 0x2000, 1)
+	h.s.EnqueueLocal(a)
+	h.s.EnqueueRemote(b)
+	h.run(1, 200)
+	if len(h.misses) != 1 {
+		t.Fatalf("expected single memory fetch, got %d", len(h.misses))
+	}
+	h.s.AcceptFill(a, 200)
+	h.run(201, 210)
+	if len(h.replies) != 2 {
+		t.Fatalf("both requesters should be answered, got %d", len(h.replies))
+	}
+}
+
+func TestArbiterAlternatesQueues(t *testing.T) {
+	h := newHarness(t)
+	// Fill both queues; the round-robin arbiter must alternate.
+	for i := 0; i < 4; i++ {
+		h.s.EnqueueLocal(load(uint64(10+i), uint64(0x100000+i*128), 0))
+		h.s.EnqueueRemote(load(uint64(20+i), uint64(0x200000+i*128), 1))
+	}
+	h.run(1, 400)
+	if len(h.misses) != 8 {
+		t.Fatalf("processed %d", len(h.misses))
+	}
+	// The first eight misses alternate local/remote by construction:
+	// ids 10,20,11,21,...
+	for i := 0; i < 4; i++ {
+		if h.misses[2*i].ID != uint64(10+i) || h.misses[2*i+1].ID != uint64(20+i) {
+			t.Fatalf("arbitration order broken: %d %d", h.misses[2*i].ID, h.misses[2*i+1].ID)
+		}
+	}
+}
+
+func TestStoreCommitsAndAcks(t *testing.T) {
+	h := newHarness(t)
+	st := &sim.MemReq{ID: 1, Kind: sim.Store, Addr: 0x3000, SM: 3, Slice: 2, ReplicaSlice: -1}
+	h.s.EnqueueLocal(st)
+	h.run(1, 200)
+	if len(h.acks) != 1 {
+		t.Fatal("store not acked")
+	}
+	if len(h.misses) != 0 {
+		t.Fatal("write-validate store should not fetch")
+	}
+	// The stored line is now present (dirty): a load hits.
+	r := load(2, 0x3000, 0)
+	h.s.EnqueueLocal(r)
+	h.run(201, 400)
+	if len(h.misses) != 0 || len(h.replies) != 1 {
+		t.Fatal("load after store did not hit")
+	}
+}
+
+func TestAtomicDirtiesLine(t *testing.T) {
+	h := newHarness(t)
+	at := &sim.MemReq{ID: 1, Kind: sim.Atomic, Addr: 0x5000, SM: 0, Slice: 2, ReplicaSlice: -1}
+	h.s.EnqueueLocal(at)
+	h.run(1, 200)
+	if len(h.misses) != 1 {
+		t.Fatal("atomic miss should fetch")
+	}
+	h.s.AcceptFill(at, 200)
+	h.run(201, 210)
+	if len(h.replies) != 1 {
+		t.Fatal("atomic not replied")
+	}
+	// Flush must write the dirtied line back.
+	h.s.Flush(211)
+	h.run(212, 220)
+	found := false
+	for _, m := range h.misses[1:] {
+		if m.Kind == sim.Store && m.Addr == 0x5000 && m.SM < 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dirty atomic line not written back on flush")
+	}
+}
+
+func TestInvalDropsLine(t *testing.T) {
+	h := newHarness(t)
+	st := &sim.MemReq{ID: 1, Kind: sim.Store, Addr: 0x7000, SM: 0, Slice: 2, ReplicaSlice: -1}
+	h.s.EnqueueLocal(st)
+	h.run(1, 200)
+	inv := &sim.MemReq{Kind: sim.Store, Addr: 0x7000, SM: -1, Slice: 2, ReplicaSlice: -1, Inval: true}
+	h.s.EnqueueRemote(inv)
+	h.run(201, 330)
+	// A load now misses (line dropped without writeback reply).
+	r := load(3, 0x7000, 0)
+	h.s.EnqueueLocal(r)
+	h.run(331, 500)
+	if len(h.misses) == 0 {
+		t.Fatal("line survived invalidation")
+	}
+	if h.s.Invalidations != 1 {
+		t.Fatalf("inval count %d", h.s.Invalidations)
+	}
+}
+
+func TestReplicaPathForwardAndFill(t *testing.T) {
+	h := newHarness(t)
+	// Request for a remote home line (slice 9) replicated at this slice (2).
+	r := &sim.MemReq{ID: 1, Kind: sim.Load, Addr: 0x9000, SM: 0, Slice: 9, ReplicaSlice: 2, ReadOnly: true}
+	h.s.EnqueueLocal(r)
+	h.run(1, 200)
+	if len(h.forwards) != 1 {
+		t.Fatalf("replica miss not forwarded: %d", len(h.forwards))
+	}
+	if len(h.misses) != 0 {
+		t.Fatal("replica miss went to local memory")
+	}
+	h.s.AcceptReplicaFill(r, 200)
+	h.run(201, 210)
+	if len(h.replies) != 1 || !r.Replicated {
+		t.Fatal("replica fill not replied/marked")
+	}
+	// Next access hits the replica locally.
+	r2 := &sim.MemReq{ID: 2, Kind: sim.Load, Addr: 0x9000, SM: 1, Slice: 9, ReplicaSlice: 2, ReadOnly: true}
+	h.s.EnqueueLocal(r2)
+	h.run(211, 400)
+	if len(h.forwards) != 1 {
+		t.Fatal("replica hit forwarded again")
+	}
+	if !r2.Replicated {
+		t.Fatal("replica hit not marked")
+	}
+	// DropReplicas removes it.
+	if n := h.s.DropReplicas(); n != 1 {
+		t.Fatalf("dropped %d replicas", n)
+	}
+}
+
+func TestBackpressureRetries(t *testing.T) {
+	h := newHarness(t)
+	h.blockMem = true
+	r := load(1, 0xA000, 0)
+	h.s.EnqueueLocal(r)
+	h.run(1, 300)
+	if len(h.misses) != 0 {
+		t.Fatal("miss escaped despite blocked channel")
+	}
+	if !h.s.Pending() {
+		t.Fatal("slice dropped the request")
+	}
+	h.blockMem = false
+	h.run(301, 310)
+	if len(h.misses) != 1 {
+		t.Fatal("miss not retried after unblock")
+	}
+}

@@ -1,0 +1,307 @@
+// Package mdr implements Model-Driven Replication (Section 5): the
+// hardware mechanism that decides, once per fixed-length epoch, whether
+// read-only shared cache lines should be replicated into requesters'
+// local LLC slices.
+//
+// Profiling uses dynamic set sampling: shadow tag arrays covering 8 sets
+// of one designated LLC slice simulate the *opposite* replication mode,
+// giving the LLC hit rate "as if" the other policy were active; request
+// classification counters give the local/remote fractions under both
+// modes. At each epoch boundary the controller evaluates the paper's two
+// closed-form effective-bandwidth models and adopts the configuration with
+// the higher estimate, with the 116-cycle fixed-point evaluation delay
+// before the decision takes effect.
+package mdr
+
+import (
+	"github.com/nuba-gpu/nuba/internal/config"
+	"github.com/nuba-gpu/nuba/internal/metrics"
+	"github.com/nuba-gpu/nuba/internal/sim"
+)
+
+// shadowTags is a tiny tag-only cache covering the sampled sets. The
+// paper's hardware budget is 8 sets x 16 ways x 24-bit tags = 384 bytes.
+type shadowTags struct {
+	ways     int
+	sets     int
+	tags     []uint64
+	valid    []bool
+	lastUse  []int64
+	accesses int64
+	hits     int64
+}
+
+func newShadowTags(sets, ways int) *shadowTags {
+	n := sets * ways
+	return &shadowTags{
+		ways: ways, sets: sets,
+		tags: make([]uint64, n), valid: make([]bool, n), lastUse: make([]int64, n),
+	}
+}
+
+// access simulates a lookup+fill of line in sampled set si.
+func (t *shadowTags) access(si int, line uint64, now int64) {
+	t.accesses++
+	base := si * t.ways
+	vi := base
+	for i := base; i < base+t.ways; i++ {
+		if t.valid[i] && t.tags[i] == line {
+			t.hits++
+			t.lastUse[i] = now
+			return
+		}
+		if !t.valid[i] {
+			vi = i
+		} else if t.valid[vi] && t.lastUse[i] < t.lastUse[vi] {
+			vi = i
+		}
+	}
+	t.tags[vi], t.valid[vi], t.lastUse[vi] = line, true, now
+}
+
+func (t *shadowTags) hitRate() (float64, bool) {
+	if t.accesses < 32 {
+		return 0, false // too few samples to trust
+	}
+	return float64(t.hits) / float64(t.accesses), true
+}
+
+func (t *shadowTags) reset() {
+	t.accesses, t.hits = 0, 0
+	// Tags persist across epochs like real cache contents would.
+}
+
+// Profiler collects one epoch of profiling input for the model.
+type Profiler struct {
+	cfg         *config.Config
+	targetSlice int
+	llcSets     int
+	sampleEvery int // a set is sampled if set % sampleEvery == 0
+
+	shadowNoRep   *shadowTags
+	shadowFullRep *shadowTags
+
+	// Request-classification counters (all L1-miss loads; stores and
+	// atomics are never replicated and excluded from the fractions, as
+	// the model reasons about read bandwidth).
+	localHome   int64
+	remoteRO    int64
+	remoteOther int64
+}
+
+// NewProfiler returns a profiler sampling MDRSampleSets sets of the given
+// slice.
+func NewProfiler(cfg *config.Config, targetSlice int) *Profiler {
+	sets := cfg.LLCSets()
+	every := sets / cfg.MDRSampleSets
+	if every < 1 {
+		every = 1
+	}
+	n := (sets + every - 1) / every
+	return &Profiler{
+		cfg:           cfg,
+		targetSlice:   targetSlice,
+		llcSets:       sets,
+		sampleEvery:   every,
+		shadowNoRep:   newShadowTags(n, cfg.LLCWays),
+		shadowFullRep: newShadowTags(n, cfg.LLCWays),
+	}
+}
+
+// TargetSlice returns the profiled slice.
+func (p *Profiler) TargetSlice() int { return p.targetSlice }
+
+// sampleIndex returns the shadow set index for addr, or -1 if the
+// address's set is not sampled.
+func (p *Profiler) sampleIndex(addr uint64) int {
+	set := int((addr >> 7) % uint64(p.llcSets))
+	if set%p.sampleEvery != 0 {
+		return -1
+	}
+	return set / p.sampleEvery
+}
+
+// Observe classifies one L1-miss request. home is its home slice, local
+// reports whether the home lies in the requester's partition, and
+// replicaWouldBe is the local slice that would hold its replica under
+// full replication.
+func (p *Profiler) Observe(req *sim.MemReq, home int, local bool, replicaWouldBe int, now sim.Cycle) {
+	if req.Kind == sim.Load {
+		switch {
+		case local:
+			p.localHome++
+		case req.ReadOnly:
+			p.remoteRO++
+		default:
+			p.remoteOther++
+		}
+	}
+	line := req.Addr >> 7
+	// No-replication shadow: the slice sees exactly its home requests.
+	if home == p.targetSlice {
+		if si := p.sampleIndex(req.Addr); si >= 0 {
+			p.shadowNoRep.access(si, line, int64(now))
+			// Under full replication the slice also keeps serving local
+			// requests and remote non-read-only ones.
+			if local || !req.ReadOnly || req.Kind != sim.Load {
+				p.shadowFullRep.access(si, line, int64(now))
+			}
+		}
+		return
+	}
+	// Full-replication shadow additionally sees read-only remote-home
+	// loads from this slice's partition, installed as replicas.
+	if !local && req.ReadOnly && req.Kind == sim.Load && replicaWouldBe == p.targetSlice {
+		if si := p.sampleIndex(req.Addr); si >= 0 {
+			p.shadowFullRep.access(si, line, int64(now))
+		}
+	}
+}
+
+// Snapshot captures the epoch's model inputs and resets the counters.
+type Snapshot struct {
+	HitNoRep          float64
+	HitFullRep        float64
+	HaveSamples       bool
+	FracLocalNoRep    float64
+	FracRemoteNoRep   float64
+	FracLocalFullRep  float64
+	FracRemoteFullRep float64
+	Loads             int64
+}
+
+// EndEpoch returns the epoch snapshot and resets per-epoch counters.
+func (p *Profiler) EndEpoch() Snapshot {
+	total := p.localHome + p.remoteRO + p.remoteOther
+	s := Snapshot{Loads: total}
+	hitNR, okNR := p.shadowNoRep.hitRate()
+	hitFR, okFR := p.shadowFullRep.hitRate()
+	s.HitNoRep, s.HitFullRep = hitNR, hitFR
+	s.HaveSamples = okNR && okFR && total > 0
+	if total > 0 {
+		ft := float64(total)
+		s.FracLocalNoRep = float64(p.localHome) / ft
+		s.FracRemoteNoRep = float64(p.remoteRO+p.remoteOther) / ft
+		s.FracLocalFullRep = float64(p.localHome+p.remoteRO) / ft
+		s.FracRemoteFullRep = float64(p.remoteOther) / ft
+	}
+	p.localHome, p.remoteRO, p.remoteOther = 0, 0, 0
+	p.shadowNoRep.reset()
+	p.shadowFullRep.reset()
+	return s
+}
+
+// Bandwidths are the microarchitectural raw bandwidth constants of the
+// model, in bytes per core cycle.
+type Bandwidths struct {
+	LLC float64 // aggregate LLC tag/data bandwidth
+	Mem float64 // aggregate DRAM bandwidth
+	NoC float64 // aggregate inter-partition NoC bandwidth
+}
+
+// RawBandwidths derives the model constants from the configuration.
+func RawBandwidths(cfg *config.Config) Bandwidths {
+	return Bandwidths{
+		LLC: float64(cfg.NumLLCSlices) * sim.LineSize,
+		Mem: float64(cfg.NumChannels) * float64(cfg.MemBusBytesPerMemCycle) / float64(cfg.MemClockDiv),
+		NoC: float64(cfg.NumLLCSlices) * float64(cfg.NoCPortBytes()),
+	}
+}
+
+// ModelNoRep evaluates the paper's no-replication effective bandwidth:
+//
+//	BW_NoRep     = Frac_local*BW_local + Frac_remote*BW_remote
+//	BW_local     = LLC_hit*BW_LLC + BW_LLC_miss
+//	BW_LLC_miss  = min(LLC_miss*BW_LLC, BW_MEM)
+//	BW_remote    = min(BW_NoC, LLC_hit*BW_LLC + BW_LLC_miss)
+func ModelNoRep(bw Bandwidths, hit, fracLocal, fracRemote float64) float64 {
+	miss := 1 - hit
+	llcMissBW := minf(miss*bw.LLC, bw.Mem)
+	local := hit*bw.LLC + llcMissBW
+	remote := minf(bw.NoC, hit*bw.LLC+llcMissBW)
+	return fracLocal*local + fracRemote*remote
+}
+
+// ModelFullRep evaluates the full-replication effective bandwidth:
+//
+//	BW_FullRep       = LLC_hit*BW_LLC + BW_LLC_miss
+//	BW_LLC_miss      = min(LLC_miss*BW_LLC, BW_local/remote)
+//	BW_local/remote  = Frac_local*BW_MEM + Frac_remote*BW_remote
+//	BW_remote        = min(BW_NoC, BW_MEM)
+func ModelFullRep(bw Bandwidths, hit, fracLocal, fracRemote float64) float64 {
+	miss := 1 - hit
+	remote := minf(bw.NoC, bw.Mem)
+	memEff := fracLocal*bw.Mem + fracRemote*remote
+	return hit*bw.LLC + minf(miss*bw.LLC, memEff)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Controller owns the epoch loop and the current replication decision.
+type Controller struct {
+	cfg   *config.Config
+	stats *metrics.Stats
+	prof  *Profiler
+	bw    Bandwidths
+
+	replicate    bool
+	nextDecision bool
+	applyAt      sim.Cycle
+	epochEnd     sim.Cycle
+
+	// Decisions/EpochsReplicating mirror the metrics counters for tests.
+	Decisions         int64
+	EpochsReplicating int64
+}
+
+// NewController returns the MDR controller. The initial decision is to
+// replicate: the first epoch has no profile yet and optimistically
+// replicating matches the paper's on-demand warm-up behaviour.
+func NewController(cfg *config.Config, stats *metrics.Stats, prof *Profiler) *Controller {
+	return &Controller{
+		cfg:       cfg,
+		stats:     stats,
+		prof:      prof,
+		bw:        RawBandwidths(cfg),
+		replicate: true,
+		applyAt:   -1,
+		epochEnd:  cfg.MDREpoch,
+	}
+}
+
+// Replicating reports whether read-only shared lines are currently being
+// replicated (the routing layer consults this per request).
+func (c *Controller) Replicating() bool { return c.replicate }
+
+// Tick advances the controller: applies a pending decision once the
+// 116-cycle evaluation completes, and evaluates the model at epoch
+// boundaries.
+func (c *Controller) Tick(now sim.Cycle) {
+	if c.applyAt >= 0 && now >= c.applyAt {
+		c.replicate = c.nextDecision
+		c.applyAt = -1
+	}
+	if now < c.epochEnd {
+		return
+	}
+	c.epochEnd = now + c.cfg.MDREpoch
+	snap := c.prof.EndEpoch()
+	c.Decisions++
+	c.stats.MDRDecisions++
+	if c.replicate {
+		c.EpochsReplicating++
+		c.stats.MDREpochsReplicating++
+	}
+	if !snap.HaveSamples {
+		return // not enough profile data: keep the current decision
+	}
+	noRep := ModelNoRep(c.bw, snap.HitNoRep, snap.FracLocalNoRep, snap.FracRemoteNoRep)
+	fullRep := ModelFullRep(c.bw, snap.HitFullRep, snap.FracLocalFullRep, snap.FracRemoteFullRep)
+	c.nextDecision = fullRep > noRep
+	c.applyAt = now + c.cfg.MDREvalDelay
+}

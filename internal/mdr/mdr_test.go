@@ -1,0 +1,187 @@
+package mdr
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nuba-gpu/nuba/internal/config"
+	"github.com/nuba-gpu/nuba/internal/metrics"
+	"github.com/nuba-gpu/nuba/internal/sim"
+)
+
+func TestRawBandwidths(t *testing.T) {
+	cfg := config.Baseline()
+	bw := RawBandwidths(&cfg)
+	// 64 slices * 128 B = 8192 B/cycle LLC.
+	if bw.LLC != 8192 {
+		t.Fatalf("LLC %v", bw.LLC)
+	}
+	// 32 channels * 64 B / 4 = 512 B/cycle memory (720 GB/s).
+	if bw.Mem != 512 {
+		t.Fatalf("Mem %v", bw.Mem)
+	}
+	// 64 ports * 16 B = 1024 B/cycle NoC (1.4 TB/s).
+	if bw.NoC != 1024 {
+		t.Fatalf("NoC %v", bw.NoC)
+	}
+}
+
+func TestModelEquationsByHand(t *testing.T) {
+	bw := Bandwidths{LLC: 8192, Mem: 512, NoC: 1024}
+	// Hand evaluation, no replication, hit=0.5, 60% local:
+	// llcMiss = min(0.5*8192, 512) = 512
+	// local = 0.5*8192 + 512 = 4608
+	// remote = min(1024, 4608) = 1024
+	// total = 0.6*4608 + 0.4*1024 = 2764.8 + 409.6 = 3174.4
+	got := ModelNoRep(bw, 0.5, 0.6, 0.4)
+	if math.Abs(got-3174.4) > 1e-9 {
+		t.Fatalf("NoRep = %v", got)
+	}
+	// Full replication, hit=0.4, 60% local:
+	// remote = min(1024, 512) = 512
+	// memEff = 0.6*512 + 0.4*512 = 512
+	// total = 0.4*8192 + min(0.6*8192, 512) = 3276.8 + 512 = 3788.8
+	got = ModelFullRep(bw, 0.4, 0.6, 0.4)
+	if math.Abs(got-3788.8) > 1e-9 {
+		t.Fatalf("FullRep = %v", got)
+	}
+}
+
+func TestModelPrefersReplicationForSmallSharedSet(t *testing.T) {
+	bw := Bandwidths{LLC: 8192, Mem: 512, NoC: 1024}
+	// Mostly remote read-only traffic with unchanged hit rates:
+	// replication should win.
+	noRep := ModelNoRep(bw, 0.8, 0.1, 0.9)
+	fullRep := ModelFullRep(bw, 0.8, 0.9, 0.1)
+	if fullRep <= noRep {
+		t.Fatalf("replication should win: %v <= %v", fullRep, noRep)
+	}
+	// Replication that craters the hit rate should lose.
+	fullRepThrash := ModelFullRep(bw, 0.05, 0.9, 0.1)
+	if fullRepThrash >= noRep {
+		t.Fatalf("thrashing replication should lose: %v >= %v", fullRepThrash, noRep)
+	}
+}
+
+func mkReq(addr uint64, ro bool, kind sim.ReqKind) *sim.MemReq {
+	return &sim.MemReq{Addr: addr, ReadOnly: ro, Kind: kind}
+}
+
+func TestProfilerShadowsAndFractions(t *testing.T) {
+	cfg := config.Baseline()
+	p := NewProfiler(&cfg, 0)
+	// Feed 100 local loads to slice 0, 100 remote read-only loads whose
+	// replica would land on slice 0, and 50 remote read-write loads.
+	for i := 0; i < 100; i++ {
+		p.Observe(mkReq(uint64(i)*128, false, sim.Load), 0, true, 0, 0)
+	}
+	for i := 0; i < 100; i++ {
+		p.Observe(mkReq(uint64(4096+i)*128, true, sim.Load), 9, false, 0, 0)
+	}
+	for i := 0; i < 50; i++ {
+		p.Observe(mkReq(uint64(8192+i)*128, false, sim.Load), 9, false, 0, 0)
+	}
+	snap := p.EndEpoch()
+	if snap.Loads != 250 {
+		t.Fatalf("loads %d", snap.Loads)
+	}
+	if math.Abs(snap.FracLocalNoRep-100.0/250) > 1e-9 {
+		t.Fatalf("fracLocalNoRep %v", snap.FracLocalNoRep)
+	}
+	if math.Abs(snap.FracLocalFullRep-200.0/250) > 1e-9 {
+		t.Fatalf("fracLocalFullRep %v", snap.FracLocalFullRep)
+	}
+	// Counters reset after the epoch.
+	if s2 := p.EndEpoch(); s2.Loads != 0 {
+		t.Fatalf("epoch reset failed: %d", s2.Loads)
+	}
+}
+
+func TestControllerFlipsOffUnderThrash(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.MDREpoch = 100
+	cfg.MDREvalDelay = 10
+	st := &metrics.Stats{}
+	p := NewProfiler(&cfg, 0)
+	c := NewController(&cfg, st, p)
+	if !c.Replicating() {
+		t.Fatal("controller should start replicating")
+	}
+	// Epoch of pure remote-RO traffic that would thrash under
+	// replication: hammer many distinct lines into the sampled sets so
+	// the full-rep shadow hit rate collapses while no-rep stays decent.
+	now := sim.Cycle(0)
+	for round := 0; round < 40; round++ {
+		// Local stream with reuse (hits in the no-rep shadow).
+		for i := 0; i < 64; i++ {
+			p.Observe(mkReq(uint64(i%8)*128*64, false, sim.Load), 0, true, 0, now)
+		}
+		// Remote read-only stream with no reuse (kills full-rep shadow).
+		for i := 0; i < 512; i++ {
+			addr := uint64(round*512+i) * 128 * 48 // spread over sets
+			p.Observe(mkReq(addr, true, sim.Load), 9, false, 0, now)
+		}
+	}
+	for now = 1; now < 400; now++ {
+		c.Tick(now)
+	}
+	if c.Decisions == 0 {
+		t.Fatal("no epoch evaluation happened")
+	}
+	if c.Replicating() {
+		t.Fatal("controller kept replicating despite thrash profile")
+	}
+}
+
+func TestControllerKeepsReplicatingWhenBeneficial(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.MDREpoch = 100
+	cfg.MDREvalDelay = 10
+	st := &metrics.Stats{}
+	p := NewProfiler(&cfg, 0)
+	c := NewController(&cfg, st, p)
+	// Remote read-only traffic with a small, hot working set: both
+	// shadows hit well, replication turns remote into local.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 128; i++ {
+			addr := uint64(i%16) * 128 * 48
+			p.Observe(mkReq(addr, true, sim.Load), 9, false, 0, 0)
+		}
+	}
+	for now := sim.Cycle(1); now < 400; now++ {
+		c.Tick(now)
+	}
+	if !c.Replicating() {
+		t.Fatal("controller turned off beneficial replication")
+	}
+	if st.MDRDecisions == 0 {
+		t.Fatal("stats not updated")
+	}
+}
+
+func TestControllerEvalDelay(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.MDREpoch = 100
+	cfg.MDREvalDelay = 50
+	p := NewProfiler(&cfg, 0)
+	c := NewController(&cfg, &metrics.Stats{}, p)
+	// Thrash profile as above, condensed.
+	for i := 0; i < 4096; i++ {
+		p.Observe(mkReq(uint64(i)*128*48, true, sim.Load), 9, false, 0, 0)
+	}
+	for i := 0; i < 64; i++ {
+		p.Observe(mkReq(uint64(i%4)*128*48, false, sim.Load), 0, true, 0, 0)
+	}
+	for now := sim.Cycle(1); now <= 100; now++ {
+		c.Tick(now)
+	}
+	if !c.Replicating() {
+		t.Fatal("decision applied before the 116-cycle evaluation window")
+	}
+	for now := sim.Cycle(101); now <= 160; now++ {
+		c.Tick(now)
+	}
+	if c.Replicating() {
+		t.Fatal("decision not applied after the evaluation delay")
+	}
+}

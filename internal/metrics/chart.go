@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders a horizontal ASCII bar chart, the terminal stand-in
+// for the paper's figures. Negative values extend left of the axis.
+type BarChart struct {
+	Title string
+	// Width is the maximum bar length in characters (default 40).
+	Width  int
+	labels []string
+	values []float64
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.labels = append(c.labels, label)
+	c.values = append(c.values, value)
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	if len(c.values) == 0 {
+		return c.Title + " (no data)\n"
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	var maxAbs float64
+	labelW := 0
+	for i, v := range c.values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+		if len(c.labels[i]) > labelW {
+			labelW = len(c.labels[i])
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	for i, v := range c.values {
+		n := int(math.Round(math.Abs(v) / maxAbs * float64(width)))
+		bar := strings.Repeat("#", n)
+		if v < 0 {
+			fmt.Fprintf(&b, "%-*s -|%s %.1f\n", labelW, c.labels[i], bar, v)
+		} else {
+			fmt.Fprintf(&b, "%-*s  |%s %.1f\n", labelW, c.labels[i], bar, v)
+		}
+	}
+	return b.String()
+}

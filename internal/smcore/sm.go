@@ -1,0 +1,782 @@
+// Package smcore models a Streaming Multiprocessor: hardware warp slots
+// running kir kernels, dual greedy-then-oldest (GTO) warp schedulers, a
+// register scoreboard, the per-warp coalescer, a per-SM L1 TLB and a
+// write-through/write-no-allocate L1 data cache with MSHRs.
+//
+// The SM produces the exact stream of 128 B line transactions the paper's
+// memory system sees; instruction semantics come from the kir interpreter
+// while all timing (scoreboard, L1 port, TLB, MSHR and interconnect
+// back-pressure) is modeled here.
+package smcore
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/nuba-gpu/nuba/internal/cache"
+	"github.com/nuba-gpu/nuba/internal/config"
+	"github.com/nuba-gpu/nuba/internal/driver"
+	"github.com/nuba-gpu/nuba/internal/kir"
+	"github.com/nuba-gpu/nuba/internal/metrics"
+	"github.com/nuba-gpu/nuba/internal/sim"
+	"github.com/nuba-gpu/nuba/internal/vm"
+)
+
+// pendingForever marks a register whose producer load has not returned.
+const pendingForever = int64(1) << 62
+
+// lineState tracks one coalesced line of a memory access through the LSU.
+type lineState uint8
+
+const (
+	lineNeedTranslate lineState = iota
+	lineTranslating
+	lineTranslated
+	lineDone
+)
+
+// lineReq is one coalesced 128 B line of a warp memory instruction.
+type lineReq struct {
+	vaddr uint64 // line-aligned virtual address
+	paddr uint64
+	state lineState
+}
+
+// memAccess is a warp memory instruction in flight in the LSU.
+type memAccess struct {
+	warp     int // warp slot
+	store    bool
+	atomic   bool
+	ro       bool
+	dstReg   int8
+	lines    []lineReq
+	nextLine int
+	writable bool // the target buffer is read-write (for fault metadata)
+}
+
+// warpSlot is one hardware warp context.
+type warpSlot struct {
+	w           *kir.Warp
+	valid       bool
+	ctaSlot     int
+	age         int64 // activation order for GTO "oldest"
+	atBarrier   bool
+	regReadyAt  [kir.MaxRegs]int64
+	regPending  [kir.MaxRegs]int16 // outstanding line fills per register
+	outstanding int                // total in-flight line requests (loads+stores)
+	// nextReady caches the earliest cycle the warp could issue again;
+	// pendingForever while blocked on an outstanding load.
+	nextReady int64
+}
+
+// ctaState tracks a resident CTA for barrier accounting and refill.
+type ctaState struct {
+	id      int
+	live    int // warps not yet exited
+	total   int
+	arrived int // warps waiting at the barrier
+	slots   []int
+	active  bool
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	ID   int
+	Part int // NUBA partition (= memory channel group)
+
+	cfg   *config.Config
+	stats *metrics.Stats
+	drv   *driver.Driver
+	vmsys *vm.System
+	hist  *metrics.SharingHistogram
+
+	l1     *cache.Cache
+	l1MSHR *cache.MSHRFile
+	l1TLB  *vm.TLB
+
+	launch    *kir.Launch
+	ctaQueue  *sim.Queue[int] // CTA ids assigned by the distributed scheduler
+	ctas      []ctaState
+	warps     []warpSlot
+	freeSlots []int
+	nextAge   int64
+	liveWarps int
+
+	// Schedulers: slot s belongs to scheduler s % SchedulersPerSM.
+	greedy []int // per-scheduler greedy warp (-1 none)
+	// sleepUntil caches, per scheduler, the earliest cycle any of its
+	// warps could become issuable; the scheduler skips its scan until
+	// then. Completion events reset it to zero.
+	sleepUntil []int64
+	// order holds, per scheduler, its live warp slots in activation
+	// (age) order, so the GTO "oldest" scan can stop at the first
+	// issuable warp.
+	order [][]int
+
+	lsu       *sim.Queue[*memAccess]
+	sendQueue *sim.Queue[*sim.MemReq]
+
+	// Send injects a request into the interconnect; installed by the
+	// core. It returns false on back-pressure and the SM retries.
+	Send func(req *sim.MemReq, now sim.Cycle) bool
+	// NextReqID allocates globally unique request ids.
+	NextReqID func() uint64
+
+	scratch kir.MemInfo
+}
+
+// LSUOpsPerCycle is the number of line operations (TLB+L1 lookups) the
+// load-store unit performs per cycle — the L1 has one 128 B port, and the
+// coalescer feeds it one line per cycle.
+const LSUOpsPerCycle = 1
+
+// New returns SM id in partition part.
+func New(id, part int, cfg *config.Config, stats *metrics.Stats, drv *driver.Driver,
+	vmsys *vm.System, hist *metrics.SharingHistogram) *SM {
+	s := &SM{
+		ID:         id,
+		Part:       part,
+		cfg:        cfg,
+		stats:      stats,
+		drv:        drv,
+		vmsys:      vmsys,
+		hist:       hist,
+		l1:         cache.New(cfg.L1Sets(), cfg.L1Ways, cache.WriteThrough),
+		l1MSHR:     cache.NewMSHRFile(cfg.L1MSHRs),
+		l1TLB:      vm.NewTLB(cfg.L1TLBEntries, 8),
+		ctaQueue:   sim.NewQueue[int](0),
+		warps:      make([]warpSlot, cfg.WarpsPerSM),
+		greedy:     make([]int, cfg.SchedulersPerSM),
+		sleepUntil: make([]int64, cfg.SchedulersPerSM),
+		order:      make([][]int, cfg.SchedulersPerSM),
+		lsu:        sim.NewQueue[*memAccess](16),
+		sendQueue:  sim.NewQueue[*sim.MemReq](8),
+	}
+	for i := range s.greedy {
+		s.greedy[i] = -1
+	}
+	return s
+}
+
+// L1 exposes the data cache (for flushes and tests).
+func (s *SM) L1() *cache.Cache { return s.l1 }
+
+// L1TLB exposes the TLB (for shootdowns and tests).
+func (s *SM) L1TLB() *vm.TLB { return s.l1TLB }
+
+// StartKernel resets per-kernel state and assigns the given CTA ids
+// (produced by the distributed CTA scheduler) to this SM.
+func (s *SM) StartKernel(l *kir.Launch, ctas []int) {
+	s.launch = l
+	for _, c := range ctas {
+		s.ctaQueue.Push(c)
+	}
+	s.fillCTAs()
+}
+
+// FlushL1 invalidates the L1 (software coherence at kernel boundaries).
+func (s *SM) FlushL1() { s.l1.InvalidateAll() }
+
+// fillCTAs activates CTAs from the queue while warp slots and CTA slots
+// are available.
+func (s *SM) fillCTAs() {
+	if s.launch == nil {
+		return
+	}
+	wpc := s.launch.WarpsPerCTA()
+	for {
+		if s.ctaQueue.Empty() {
+			return
+		}
+		if s.residentCTAs() >= s.cfg.MaxCTAsPerSM {
+			return
+		}
+		if s.cfg.WarpsPerSM-s.liveWarps < wpc {
+			return
+		}
+		ctaID, _ := s.ctaQueue.Pop()
+		cs := ctaState{id: ctaID, live: wpc, total: wpc, active: true}
+		ctaSlot := -1
+		for i := range s.ctas {
+			if !s.ctas[i].active {
+				ctaSlot = i
+				break
+			}
+		}
+		if ctaSlot < 0 {
+			s.ctas = append(s.ctas, ctaState{})
+			ctaSlot = len(s.ctas) - 1
+		}
+		for wi := 0; wi < wpc; wi++ {
+			slot := s.takeSlot()
+			ws := &s.warps[slot]
+			*ws = warpSlot{
+				w:       kir.NewWarp(s.launch, ctaID, wi),
+				valid:   true,
+				ctaSlot: ctaSlot,
+				age:     s.nextAge,
+			}
+			for r := range ws.regReadyAt {
+				ws.regReadyAt[r] = 0
+			}
+			s.nextAge++
+			sched := slot % s.cfg.SchedulersPerSM
+			s.order[sched] = append(s.order[sched], slot)
+			cs.slots = append(cs.slots, slot)
+			s.liveWarps++
+		}
+		s.ctas[ctaSlot] = cs
+		s.wake(-1)
+	}
+}
+
+func (s *SM) residentCTAs() int {
+	n := 0
+	for i := range s.ctas {
+		if s.ctas[i].active {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *SM) takeSlot() int {
+	if n := len(s.freeSlots); n > 0 {
+		slot := s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+		return slot
+	}
+	for i := range s.warps {
+		if !s.warps[i].valid {
+			return i
+		}
+	}
+	panic("smcore: no free warp slot")
+}
+
+// Idle reports whether the SM has finished all assigned work and drained
+// all outstanding memory traffic.
+func (s *SM) Idle() bool {
+	return s.liveWarps == 0 && s.ctaQueue.Empty() && s.lsu.Empty() && s.sendQueue.Empty()
+}
+
+// Tick advances the SM by one cycle: drain the send queue, run the LSU,
+// then let each scheduler issue one instruction.
+func (s *SM) Tick(now sim.Cycle) {
+	s.drainSendQueue(now)
+	s.tickLSU(now)
+	for sched := 0; sched < s.cfg.SchedulersPerSM; sched++ {
+		s.issue(sched, now)
+	}
+}
+
+// drainSendQueue pushes pending requests into the interconnect.
+func (s *SM) drainSendQueue(now sim.Cycle) {
+	for {
+		req, ok := s.sendQueue.Peek()
+		if !ok {
+			return
+		}
+		if !s.Send(req, now) {
+			return
+		}
+		s.sendQueue.Pop()
+	}
+}
+
+// issue lets scheduler sched pick one ready warp (greedy, then oldest) and
+// execute its next instruction. When nothing can issue, the scheduler
+// records the earliest wake-up time and skips its scan until then.
+func (s *SM) issue(sched int, now sim.Cycle) {
+	if s.sleepUntil[sched] > now {
+		return
+	}
+	if g := s.greedy[sched]; g >= 0 && s.issuable(g, now) {
+		s.execWarp(g, now)
+		return
+	}
+	minNext := int64(1) << 62
+	for _, slot := range s.order[sched] {
+		ws := &s.warps[slot]
+		if !ws.valid || ws.w.Exited || ws.atBarrier {
+			continue
+		}
+		if s.issuable(slot, now) {
+			// Age order: the first issuable warp is the oldest.
+			s.greedy[sched] = slot
+			s.execWarp(slot, now)
+			return
+		}
+		// Blocked: issuable refreshed nextReady when the block is a
+		// scoreboard wait; structural stalls (LSU full) retry next cycle.
+		nr := ws.nextReady
+		if nr <= now {
+			nr = now + 1
+		}
+		if nr < minNext {
+			minNext = nr
+		}
+	}
+	s.sleepUntil[sched] = minNext
+}
+
+// wake clears the scheduler sleep cache for the given warp slot (or all
+// schedulers when slot < 0).
+func (s *SM) wake(slot int) {
+	if slot >= 0 {
+		s.sleepUntil[slot%s.cfg.SchedulersPerSM] = 0
+		return
+	}
+	for i := range s.sleepUntil {
+		s.sleepUntil[i] = 0
+	}
+}
+
+// issuable reports whether the warp in slot can issue this cycle: it must
+// be live, not at a barrier, its operands ready and, for memory ops, the
+// LSU must have room. The nextReady cache skips warps known to be blocked
+// until a future cycle (or until an outstanding load returns).
+func (s *SM) issuable(slot int, now sim.Cycle) bool {
+	ws := &s.warps[slot]
+	if ws.nextReady > now {
+		return false
+	}
+	if !ws.valid || ws.w.Exited || ws.atBarrier {
+		return false
+	}
+	in := ws.w.Current()
+	if in == nil {
+		return false
+	}
+	var blockedUntil int64
+	for need := in.NeedMask; need != 0; need &= need - 1 {
+		r := bits.TrailingZeros32(need)
+		if t := ws.regReadyAt[r]; t > blockedUntil {
+			blockedUntil = t
+		}
+	}
+	if blockedUntil > now {
+		// Cache the wake time; completeLine resets it when a pending
+		// load resolves a register early.
+		ws.nextReady = blockedUntil
+		return false
+	}
+	if in.Op.IsMem() && s.lsu.Full() {
+		return false
+	}
+	return true
+}
+
+// execWarp executes one instruction of the warp in slot.
+func (s *SM) execWarp(slot int, now sim.Cycle) {
+	ws := &s.warps[slot]
+	res := ws.w.Exec(&s.scratch)
+	s.stats.Instructions++
+	s.stats.ThreadInstructions += int64(bits.OnesCount32(ws.w.ActiveMask))
+
+	switch res.Kind {
+	case kir.StepCompute:
+		if res.DstReg >= 0 {
+			at := now + res.Latency
+			if ws.regReadyAt[res.DstReg] < at {
+				ws.regReadyAt[res.DstReg] = at
+			}
+		}
+	case kir.StepMem:
+		s.enqueueMem(slot, res, now)
+	case kir.StepBarrier:
+		s.arriveBarrier(slot)
+	case kir.StepExit:
+		s.retireWarp(slot)
+	}
+}
+
+// enqueueMem coalesces the scratch MemInfo into unique lines and queues
+// the access in the LSU.
+func (s *SM) enqueueMem(slot int, res kir.StepInfo, now sim.Cycle) {
+	ws := &s.warps[slot]
+	m := &s.scratch
+	acc := &memAccess{
+		warp:   slot,
+		store:  m.Store,
+		atomic: m.Atomic,
+		ro:     m.RO,
+		dstReg: res.DstReg,
+	}
+	// The target buffer's writability feeds the fault path (page
+	// replication never clones writable pages).
+	acc.writable = !s.launch.Kernel.Buffers[m.Buf].ReadOnly
+
+	// Coalesce: collect distinct line addresses over active lanes.
+	// Lanes usually touch few distinct lines; linear dedup is cheap.
+	for l := 0; l < kir.WarpSize; l++ {
+		if m.Mask&(1<<uint(l)) == 0 {
+			continue
+		}
+		la := m.Addrs[l] &^ uint64(sim.LineSize-1)
+		found := false
+		for i := range acc.lines {
+			if acc.lines[i].vaddr == la {
+				found = true
+				break
+			}
+		}
+		if !found {
+			acc.lines = append(acc.lines, lineReq{vaddr: la})
+		}
+	}
+	if len(acc.lines) == 0 {
+		return
+	}
+	if res.DstReg >= 0 {
+		// The destination becomes ready only when every line returns.
+		ws.regReadyAt[res.DstReg] = pendingForever
+		ws.regPending[res.DstReg] += int16(len(acc.lines))
+	}
+	// Outstanding work is counted here, not at L1-access time: a warp
+	// slot must not recycle while the LSU or send queue still hold its
+	// accesses.
+	ws.outstanding += len(acc.lines)
+	s.lsu.Push(acc)
+}
+
+// tickLSU processes up to LSUOpsPerCycle line operations per cycle:
+// translation, L1 lookup, MSHR allocation and request creation. Accesses
+// whose next line is waiting on the shared TLB or a page fault are parked
+// in place and younger accesses proceed past them — translation misses
+// must not serialize independent warps (real GPU MMUs sustain many
+// concurrent translations), only structural stalls (MSHR or send queue
+// full) stop the pipeline.
+func (s *SM) tickLSU(now sim.Cycle) {
+	ops := 0
+	for i := 0; ops < LSUOpsPerCycle && i < s.lsu.Len(); {
+		acc := s.lsu.At(i)
+		if acc.nextLine >= len(acc.lines) {
+			s.lsu.RemoveAt(i)
+			continue
+		}
+		line := &acc.lines[acc.nextLine]
+		switch line.state {
+		case lineTranslating:
+			i++ // parked on translation: let younger accesses proceed
+		case lineNeedTranslate:
+			if !s.translate(acc, line, now) {
+				i++ // TLB ports saturated or page mid-migration
+				continue
+			}
+			if line.state == lineTranslating {
+				i++ // walk in flight: park
+				continue
+			}
+			// L1 TLB hit: the cache access proceeds this cycle.
+			fallthrough
+		case lineTranslated:
+			if !s.accessL1(acc, line, now) {
+				return // MSHR or send queue full: structural stall
+			}
+			line.state = lineDone
+			acc.nextLine++
+			ops++
+			if acc.nextLine >= len(acc.lines) {
+				s.lsu.RemoveAt(i)
+			}
+		case lineDone:
+			acc.nextLine++
+		}
+	}
+}
+
+// translate resolves the line's physical address. It returns false when
+// the access could make no progress this cycle.
+func (s *SM) translate(acc *memAccess, line *lineReq, now sim.Cycle) bool {
+	vpn := line.vaddr >> s.pageShift()
+	s.stats.TLBAccesses++
+	if s.l1TLB.Lookup(vpn, now) {
+		if !s.finishTranslate(line, vpn, now) {
+			return false // page busy (migration in flight)
+		}
+		return true
+	}
+	s.stats.TLBMisses++
+	if s.hist != nil {
+		s.hist.Touch(vpn, s.ID)
+	}
+	lineRef := line
+	accepted := s.vmsys.Request(s.Part, vpn, acc.writable, now, func() {
+		s.l1TLB.Insert(vpn, now)
+		lineRef.state = lineTranslated
+		// The physical frame is resolved when the LSU next processes the
+		// line, so a migration that lands in between stays coherent.
+	})
+	if !accepted {
+		return false
+	}
+	line.state = lineTranslating
+	return true
+}
+
+// finishTranslate fills line.paddr from the driver's current mapping.
+func (s *SM) finishTranslate(line *lineReq, vpn uint64, now sim.Cycle) bool {
+	if p, ok := s.drv.Lookup(vpn); ok && p.BusyUntil > now {
+		return false // page mid-migration: stall
+	}
+	ppn, ok := s.drv.Translate(vpn, s.Part)
+	if !ok {
+		// Mapped concurrently via fault path; the walk callback will
+		// re-mark the line. Treat as no progress.
+		return false
+	}
+	line.paddr = ppn<<s.pageShift() | (line.vaddr & (s.cfg.PageSize - 1))
+	line.state = lineTranslated
+	return true
+}
+
+func (s *SM) pageShift() uint {
+	sh := uint(0)
+	for p := s.cfg.PageSize; p > 1; p >>= 1 {
+		sh++
+	}
+	return sh
+}
+
+// accessL1 performs the L1 lookup for a translated line and creates the
+// downstream request on a miss. It returns false if it could not complete
+// this cycle (MSHR or send queue full).
+func (s *SM) accessL1(acc *memAccess, line *lineReq, now sim.Cycle) bool {
+	if line.paddr == 0 {
+		vpn := line.vaddr >> s.pageShift()
+		if !s.finishTranslate(line, vpn, now) {
+			return false
+		}
+	}
+	ws := &s.warps[acc.warp]
+	if acc.store {
+		// Write-through, write-no-allocate: invalidate any stale copy
+		// and forward the line downstream.
+		if s.sendQueue.Full() {
+			return false
+		}
+		s.l1.Access(line.paddr, true, int64(now))
+		s.stats.L1Accesses++
+		s.sendQueue.Push(s.newReq(acc, line, now))
+		return true
+	}
+	if acc.atomic {
+		// Atomics bypass the L1 and execute at the home LLC slice.
+		if s.sendQueue.Full() {
+			return false
+		}
+		s.sendQueue.Push(s.newReq(acc, line, now))
+		return true
+	}
+	// Load.
+	s.stats.L1Accesses++
+	if s.l1.Access(line.paddr, false, int64(now)) {
+		s.stats.L1Hits++
+		ws.outstanding--
+		s.completeLine(acc.warp, acc.dstReg, now)
+		return true
+	}
+	la := s.l1.LineAddr(line.paddr)
+	if _, merged, ok := s.l1MSHR.Allocate(la, s.newReq(acc, line, now), now); !ok {
+		s.stats.L1Accesses-- // retried next cycle: don't double count
+		return false         // MSHR full
+	} else if merged {
+		s.stats.L1Misses++
+		return true // rides behind the primary miss
+	}
+	if s.sendQueue.Full() {
+		// Roll back: the primary must actually go out.
+		s.l1MSHR.Release(la)
+		s.stats.L1Accesses--
+		return false
+	}
+	s.stats.L1Misses++
+	entry, _ := s.l1MSHR.Lookup(la)
+	s.sendQueue.Push(entry.Primary)
+	return true
+}
+
+// newReq builds the network request for a line.
+func (s *SM) newReq(acc *memAccess, line *lineReq, now sim.Cycle) *sim.MemReq {
+	kind := sim.Load
+	if acc.store {
+		kind = sim.Store
+	} else if acc.atomic {
+		kind = sim.Atomic
+	}
+	dst := int8(-1)
+	if !acc.store {
+		dst = acc.dstReg
+	}
+	return &sim.MemReq{
+		ID:           s.NextReqID(),
+		Kind:         kind,
+		Addr:         s.l1.LineAddr(line.paddr),
+		VAddr:        line.vaddr,
+		Size:         sim.LineSize,
+		ReadOnly:     acc.ro,
+		SM:           s.ID,
+		Warp:         acc.warp,
+		DstReg:       dst,
+		ReplicaSlice: -1,
+		Issue:        now,
+	}
+}
+
+// completeLine credits one returned (or L1-hit) line toward the warp's
+// destination register.
+func (s *SM) completeLine(slot int, dstReg int8, now sim.Cycle) {
+	ws := &s.warps[slot]
+	if dstReg >= 0 {
+		ws.regPending[dstReg]--
+		if ws.regPending[dstReg] <= 0 {
+			ws.regPending[dstReg] = 0
+			ws.regReadyAt[dstReg] = now + 1
+		}
+		ws.nextReady = 0 // wake the scheduler's blocked-warp cache
+		s.wake(slot)
+	}
+	s.maybeRecycle(slot)
+}
+
+// AcceptReply handles a data reply (load/atomic) or store acknowledgement
+// arriving from the interconnect.
+func (s *SM) AcceptReply(req *sim.MemReq, now sim.Cycle) {
+	s.stats.MemLatencySum += int64(now - req.Issue)
+	s.stats.MemLatencyCount++
+	if req.Kind == sim.Store {
+		s.warps[req.Warp].outstanding--
+		if s.warps[req.Warp].outstanding < 0 {
+			panic(fmt.Sprintf("SM%d warp %d negative outstanding on store id=%d addr=%#x", s.ID, req.Warp, req.ID, req.Addr))
+		}
+		s.maybeRecycle(req.Warp)
+		return
+	}
+	s.stats.Replies++
+	if req.Kind == sim.Load {
+		la := s.l1.LineAddr(req.Addr)
+		if entry, ok := s.l1MSHR.Release(la); ok {
+			s.l1.Insert(la, false, false, int64(now))
+			// Complete the primary and every merged waiter.
+			s.finishLoad(entry.Primary, now)
+			for _, wr := range entry.Waiters {
+				s.finishLoad(wr, now)
+			}
+			return
+		}
+		// No MSHR entry (e.g. replay after flush): complete just this one.
+		s.finishLoad(req, now)
+		return
+	}
+	// Atomic: completes exactly one request, no L1 fill.
+	s.finishLoad(req, now)
+}
+
+func (s *SM) finishLoad(req *sim.MemReq, now sim.Cycle) {
+	s.warps[req.Warp].outstanding--
+	if s.warps[req.Warp].outstanding < 0 {
+		panic(fmt.Sprintf("SM%d warp %d negative outstanding on load id=%d addr=%#x merged=%v", s.ID, req.Warp, req.ID, req.Addr, req.MergedBehind))
+	}
+	s.completeLine(req.Warp, req.DstReg, now)
+}
+
+// maybeRecycle frees an exited warp's slot once its traffic drained, and
+// retires its CTA when all sibling warps are gone.
+func (s *SM) maybeRecycle(slot int) {
+	ws := &s.warps[slot]
+	if !ws.valid || !ws.w.Exited || ws.outstanding != 0 {
+		return
+	}
+	ws.valid = false
+	sched := slot % s.cfg.SchedulersPerSM
+	for i, sl := range s.order[sched] {
+		if sl == slot {
+			s.order[sched] = append(s.order[sched][:i], s.order[sched][i+1:]...)
+			break
+		}
+	}
+	s.freeSlots = append(s.freeSlots, slot)
+	cs := &s.ctas[ws.ctaSlot]
+	cs.live--
+	s.liveWarps--
+	if cs.live == 0 {
+		cs.active = false
+		s.fillCTAs()
+	}
+}
+
+// arriveBarrier registers the warp at its CTA barrier and releases the
+// barrier when every participating (non-exited) warp of the CTA has
+// arrived.
+func (s *SM) arriveBarrier(slot int) {
+	ws := &s.warps[slot]
+	cs := &s.ctas[ws.ctaSlot]
+	ws.atBarrier = true
+	cs.arrived++
+	if cs.arrived >= s.liveAtBarrierDenominator(cs) {
+		s.releaseBarrier(cs)
+	}
+}
+
+func (s *SM) releaseBarrier(cs *ctaState) {
+	for _, sl := range cs.slots {
+		if s.warps[sl].valid && s.warps[sl].atBarrier {
+			s.warps[sl].atBarrier = false
+		}
+	}
+	cs.arrived = 0
+	s.wake(-1)
+}
+
+// retireWarp marks the warp exited; the slot recycles when its memory
+// traffic drains. An exiting warp may release a barrier its siblings wait
+// on.
+func (s *SM) retireWarp(slot int) {
+	ws := &s.warps[slot]
+	cs := &s.ctas[ws.ctaSlot]
+	// A warp that exits while siblings wait at a barrier no longer
+	// participates: re-check release.
+	if cs.arrived > 0 && cs.arrived >= s.liveAtBarrierDenominator(cs) {
+		s.releaseBarrier(cs)
+	}
+	s.maybeRecycle(slot)
+}
+
+// liveAtBarrierDenominator counts warps of the CTA that still participate
+// in barriers (valid and not exited).
+func (s *SM) liveAtBarrierDenominator(cs *ctaState) int {
+	n := 0
+	for _, sl := range cs.slots {
+		if s.warps[sl].valid && !s.warps[sl].w.Exited {
+			n++
+		}
+	}
+	return n
+}
+
+// DebugState summarizes live warps and queues for stall diagnosis.
+func (s *SM) DebugState() string {
+	live, bar, out := 0, 0, 0
+	pc := -1
+	for i := range s.warps {
+		ws := &s.warps[i]
+		if !ws.valid {
+			continue
+		}
+		live++
+		out += ws.outstanding
+		if ws.atBarrier {
+			bar++
+		}
+		if !ws.w.Exited && pc < 0 {
+			pc = ws.w.PC
+		}
+	}
+	return fmt.Sprintf("live=%d bar=%d outstanding=%d lsu=%d send=%d ctaQ=%d firstPC=%d",
+		live, bar, out, s.lsu.Len(), s.sendQueue.Len(), s.ctaQueue.Len(), pc)
+}
+
+// L1MSHRStalls returns how many line operations stalled on a full L1 MSHR
+// file.
+func (s *SM) L1MSHRStalls() int64 { return s.l1MSHR.StallsFull }

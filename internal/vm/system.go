@@ -1,0 +1,185 @@
+package vm
+
+import (
+	"container/heap"
+
+	"github.com/nuba-gpu/nuba/internal/config"
+	"github.com/nuba-gpu/nuba/internal/driver"
+	"github.com/nuba-gpu/nuba/internal/metrics"
+	"github.com/nuba-gpu/nuba/internal/sim"
+)
+
+// System is the shared part of the translation hierarchy: the L2 TLB, the
+// page-table walker pool and the page-fault path into the driver. Per-SM
+// L1 TLBs live in the SM model; on an L1 TLB miss the SM calls Request and
+// suspends the warp until the completion callback fires.
+type System struct {
+	cfg   *config.Config
+	drv   *driver.Driver
+	stats *metrics.Stats
+
+	l2 *TLB
+
+	// L2 TLB port accounting: at most L2TLBPorts lookups may start per
+	// cycle.
+	portCycle sim.Cycle
+	portsUsed int
+
+	walkersBusy int
+	walkQueue   *sim.Queue[*walk]
+	walks       map[uint64]*walk // in-flight walks by VPN (merged)
+
+	events   eventHeap
+	lastTick sim.Cycle
+}
+
+type walk struct {
+	vpn      uint64
+	homePart int  // partition of the first requester (first-touch home)
+	writable bool // whether the faulting access's buffer is writable
+	waiters  []func()
+	started  bool
+}
+
+type event struct {
+	ready sim.Cycle
+	fire  func()
+	walk  *walk // non-nil when the event completes a page walk
+	// walkerFreed marks walk-completion events whose walker was already
+	// released (fault path).
+	walkerFreed bool
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].ready < h[j].ready }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewSystem returns the shared translation system.
+func NewSystem(cfg *config.Config, drv *driver.Driver, stats *metrics.Stats) *System {
+	return &System{
+		cfg:       cfg,
+		drv:       drv,
+		stats:     stats,
+		l2:        NewTLB(cfg.L2TLBEntries, cfg.L2TLBWays),
+		walkQueue: sim.NewQueue[*walk](0),
+		walks:     make(map[uint64]*walk),
+	}
+}
+
+// L2 exposes the shared TLB (for shootdowns and tests).
+func (s *System) L2() *TLB { return s.l2 }
+
+// portAvailable consumes one L2 TLB port for cycle now if one is free.
+func (s *System) portAvailable(now sim.Cycle) bool {
+	if s.portCycle != now {
+		s.portCycle = now
+		s.portsUsed = 0
+	}
+	if s.portsUsed >= s.cfg.L2TLBPorts {
+		return false
+	}
+	s.portsUsed++
+	return true
+}
+
+// Request starts a translation for vpn on behalf of an SM in partition
+// part whose access targets a buffer with the given writability. done
+// fires when the translation completes (the caller then consults the
+// driver for the physical frame). Request reports false when the L2 TLB
+// ports are saturated this cycle and the SM must retry next cycle.
+func (s *System) Request(part int, vpn uint64, writable bool, now sim.Cycle, done func()) bool {
+	if !s.portAvailable(now) {
+		return false
+	}
+	s.stats.L2TLBAccesses++
+	if s.l2.Lookup(vpn, now) {
+		heap.Push(&s.events, event{ready: now + s.cfg.L2TLBLatency, fire: done})
+		return true
+	}
+	s.stats.L2TLBMisses++
+	// Merge into an in-flight walk for the same page if one exists.
+	if w, ok := s.walks[vpn]; ok {
+		w.waiters = append(w.waiters, done)
+		return true
+	}
+	w := &walk{vpn: vpn, homePart: part, writable: writable, waiters: []func(){done}}
+	s.walks[vpn] = w
+	s.startOrQueueWalk(w, now+s.cfg.L2TLBLatency)
+	return true
+}
+
+func (s *System) startOrQueueWalk(w *walk, at sim.Cycle) {
+	if s.walkersBusy >= s.cfg.PageWalkers {
+		s.walkQueue.Push(w)
+		return
+	}
+	s.walkersBusy++
+	w.started = true
+	s.stats.PageWalks++
+	lat := s.cfg.PageWalkLatency
+	if _, mapped := s.drv.Lookup(w.vpn); !mapped {
+		// First touch: the walk page-faults and the driver allocates.
+		// The walker is released after the walk itself; the fixed fault
+		// penalty is a latency charged to the waiting warps, not a
+		// walker occupancy — the host driver batches fault servicing
+		// (see DESIGN.md), so faults beyond the walk do not serialize
+		// on the 64 walkers.
+		s.stats.PageFaults++
+		s.drv.Allocate(w.vpn, w.homePart, w.writable)
+		lat += s.cfg.PageFaultLatency
+		heap.Push(&s.events, event{ready: at + s.cfg.PageWalkLatency, fire: s.releaseWalker})
+		heap.Push(&s.events, event{ready: at + lat, walk: w, walkerFreed: true})
+		return
+	}
+	heap.Push(&s.events, event{ready: at + lat, walk: w})
+}
+
+// releaseWalker frees one walker slot and admits a queued walk.
+func (s *System) releaseWalker() {
+	s.walkersBusy--
+	if next, ok := s.walkQueue.Pop(); ok {
+		s.startOrQueueWalk(next, s.lastTick)
+	}
+}
+
+// Tick fires due events: L2-hit completions and finished walks. Finished
+// walks fill the L2 TLB, release their walker (admitting a queued walk)
+// and wake all merged waiters.
+func (s *System) Tick(now sim.Cycle) {
+	s.lastTick = now
+	for len(s.events) > 0 && s.events[0].ready <= now {
+		e := heap.Pop(&s.events).(event)
+		if e.walk == nil {
+			e.fire()
+			continue
+		}
+		w := e.walk
+		delete(s.walks, w.vpn)
+		s.l2.Insert(w.vpn, now)
+		if !e.walkerFreed {
+			s.releaseWalker()
+		}
+		for _, f := range w.waiters {
+			f()
+		}
+	}
+}
+
+// Pending reports whether translations remain in flight.
+func (s *System) Pending() bool {
+	return len(s.events) > 0 || len(s.walks) > 0 || !s.walkQueue.Empty()
+}
+
+// Shootdown flushes vpn from the L2 TLB (per-SM L1 TLB flushes are the
+// core's responsibility since it owns the SMs).
+func (s *System) Shootdown(vpn uint64) { s.l2.Flush(vpn) }

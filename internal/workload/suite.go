@@ -1,0 +1,419 @@
+package workload
+
+import "github.com/nuba-gpu/nuba/internal/kir"
+
+// The suite, in Table 2 order. Buffer sizes are the scaled footprints
+// discussed in the package comment; PaperMB/PaperROMB document the paper's
+// original numbers. Grids use 256-thread CTAs across 96-512 CTAs so the
+// baseline 64-SM GPU runs 2-8 CTAs per SM.
+
+// streamBench builds a streaming benchmark: phases launches over a
+// ping-ponged pair of arrays, each sweeping the CTA tile `passes` times
+// (pass >= 2 creates the L1-capacity / LLC-hit traffic of the real codes).
+func streamBench(grid int, iters, cwork, passes int64, phases int) func(Alloc) ([]*kir.Launch, error) {
+	return func(alloc Alloc) ([]*kir.Launch, error) {
+		size := uint64(grid) * CTAThreads * uint64(iters) * 8
+		a, b := alloc(size), alloc(size)
+		var ls []*kir.Launch
+		for p := 0; p < phases; p++ {
+			src, dst := a, b
+			if p%2 == 1 {
+				src, dst = b, a
+			}
+			l, err := launch(kStream, grid, []int64{iters, cwork, passes},
+				[]kir.Binding{buf(src, size), buf(dst, size)})
+			if err != nil {
+				return nil, err
+			}
+			ls = append(ls, l)
+		}
+		return ls, nil
+	}
+}
+
+// stencilBench builds a 2D stencil benchmark with rowsPerCTA rows per CTA,
+// `passes` sweeps per launch and the given number of launches.
+func stencilBench(grid int, rowsPerCTA, passes int64, phases int) func(Alloc) ([]*kir.Launch, error) {
+	return func(alloc Alloc) ([]*kir.Launch, error) {
+		width := int64(CTAThreads)
+		size := uint64(grid) * uint64(rowsPerCTA) * uint64(width) * 8
+		a, b := alloc(size), alloc(size)
+		var ls []*kir.Launch
+		for p := 0; p < phases; p++ {
+			src, dst := a, b
+			if p%2 == 1 {
+				src, dst = b, a
+			}
+			l, err := launch(kStencil2D, grid, []int64{rowsPerCTA, width, passes},
+				[]kir.Binding{buf(src, size), buf(dst, size)})
+			if err != nil {
+				return nil, err
+			}
+			ls = append(ls, l)
+		}
+		return ls, nil
+	}
+}
+
+// matvecBench builds a column-major matrix-vector benchmark: one launch
+// per matrix, all sharing the small x vector. Matrices are distinct
+// buffers (the transposed-copy formulation the paper's low-sharing
+// classification implies for MVT/ATAX/GESUMMV).
+func matvecBench(grid int, k int64, matrices int) func(Alloc) ([]*kir.Launch, error) {
+	return func(alloc Alloc) ([]*kir.Launch, error) {
+		n := int64(grid) * CTAThreads
+		asize := uint64(n) * uint64(k) * 8
+		xsize := uint64(k) * 8
+		ysize := uint64(n) * 8
+		x := alloc(xsize)
+		var ls []*kir.Launch
+		for m := 0; m < matrices; m++ {
+			a, y := alloc(asize), alloc(ysize)
+			l, err := launch(kMatvec, grid, []int64{k, n},
+				[]kir.Binding{buf(a, asize), buf(x, xsize), buf(y, ysize)})
+			if err != nil {
+				return nil, err
+			}
+			ls = append(ls, l)
+		}
+		return ls, nil
+	}
+}
+
+// mapReduceBench builds a Mars-style benchmark: a private input stream
+// hashed into a small read-write table with atomics (one in eight records
+// escapes the local combiner, as in real MapReduce map phases).
+func mapReduceBench(grid int, iters, tableElems int64) func(Alloc) ([]*kir.Launch, error) {
+	return func(alloc Alloc) ([]*kir.Launch, error) {
+		in := uint64(grid) * CTAThreads * uint64(iters) * 8
+		tbl := uint64(tableElems) * 8
+		l, err := launch(kMapReduce, grid, []int64{iters, tableElems},
+			[]kir.Binding{hbuf(alloc(in), in), buf(alloc(tbl), tbl)})
+		if err != nil {
+			return nil, err
+		}
+		return []*kir.Launch{l}, nil
+	}
+}
+
+// clusterBench builds a clustering benchmark (points vs. shared center
+// windows). See kCluster for the meaning of the knobs.
+func clusterBench(grid int, iters, ncent, grpdiv, gstride, csize int64) func(Alloc) ([]*kir.Launch, error) {
+	return func(alloc Alloc) ([]*kir.Launch, error) {
+		pts := uint64(grid) * CTAThreads * uint64(iters) * 8
+		ctr := uint64(csize) * 8
+		l, err := launch(kCluster, grid, []int64{iters, ncent, grpdiv, gstride, csize},
+			[]kir.Binding{buf(alloc(pts), pts), buf(alloc(ctr), ctr), buf(alloc(pts), pts)})
+		if err != nil {
+			return nil, err
+		}
+		return []*kir.Launch{l}, nil
+	}
+}
+
+// gemmBench builds `phases` chained GEMMs: the output of one feeds the
+// next (the 2MM structure); with phases=1 it is plain SGEMM/MM.
+func gemmBench(grid int, k, n, gj int64, phases int) func(Alloc) ([]*kir.Launch, error) {
+	return func(alloc Alloc) ([]*kir.Launch, error) {
+		m := int64(grid) / gj
+		asize := uint64(m) * uint64(k) * 8
+		bsize := uint64(k) * uint64(n) * 8
+		csize := uint64(m) * uint64(n) * 8
+		a := alloc(asize)
+		var ls []*kir.Launch
+		for p := 0; p < phases; p++ {
+			b, c := alloc(bsize), alloc(csize)
+			l, err := launch(kGemm, grid, []int64{k, n, gj},
+				[]kir.Binding{buf(a, asize), buf(b, bsize), buf(c, csize)})
+			if err != nil {
+				return nil, err
+			}
+			ls = append(ls, l)
+			// The next phase multiplies the previous result against a
+			// fresh panel: the read-write output of one kernel becomes
+			// read-only input of the next, as the paper notes for
+			// inter-kernel data.
+			a, asize = c, csize
+		}
+		return ls, nil
+	}
+}
+
+// dnnBench builds a DNN benchmark: `layers` window-sweep launches, each
+// reading the shared input through a sliding window of `window` elements
+// (sized against the L1 and a partition's LLC slices; see kernels.go) and
+// a warp-uniform weight vector. The output of one layer is the read-only
+// input of the next.
+func dnnBench(grid, layers int, taps, inElems, window, wElems int64) func(Alloc) ([]*kir.Launch, error) {
+	return func(alloc Alloc) ([]*kir.Launch, error) {
+		outElems := int64(grid) * CTAThreads
+		in, insz := alloc(uint64(inElems)*8), inElems
+		var ls []*kir.Launch
+		for layer := 0; layer < layers; layer++ {
+			win := window
+			if win > insz {
+				win = insz
+			}
+			stride := (insz - win) / taps
+			if stride < 1 {
+				stride = 1
+			}
+			w := alloc(uint64(wElems) * 8)
+			out := alloc(uint64(outElems) * 8)
+			l, err := launch(kDNNConv, grid, []int64{taps, insz, win, stride},
+				[]kir.Binding{buf(in, uint64(insz)*8), buf(w, uint64(wElems)*8), buf(out, uint64(outElems)*8)})
+			if err != nil {
+				return nil, err
+			}
+			ls = append(ls, l)
+			in, insz = out, outElems
+		}
+		return ls, nil
+	}
+}
+
+// rnnBench builds the GRU benchmark: `steps` timesteps over ping-ponged
+// hidden-state buffers (read-only within a step, rewritten by the next),
+// swept through a window larger than a partition's LLC slices — the
+// replication-thrashing case MDR must turn off, re-evaluated after every
+// kernel-boundary flush.
+func rnnBench(grid, steps int, taps, hElems, window, wElems int64) func(Alloc) ([]*kir.Launch, error) {
+	return func(alloc Alloc) ([]*kir.Launch, error) {
+		outElems := int64(grid) * CTAThreads
+		h0 := alloc(uint64(hElems) * 8)
+		h1 := alloc(uint64(outElems) * 8)
+		w := alloc(uint64(wElems) * 8)
+		var ls []*kir.Launch
+		in, insz := h0, hElems
+		out := h1
+		for t := 0; t < steps; t++ {
+			win := window
+			if win > insz {
+				win = insz
+			}
+			stride := (insz - win) / taps
+			if stride < 1 {
+				stride = 1
+			}
+			l, err := launch(kDNNConv, grid, []int64{taps, insz, win, stride},
+				[]kir.Binding{buf(in, uint64(insz)*8), buf(w, uint64(wElems)*8), buf(out, uint64(outElems)*8)})
+			if err != nil {
+				return nil, err
+			}
+			ls = append(ls, l)
+			in, out = out, in
+			insz = outElems
+		}
+		return ls, nil
+	}
+}
+
+var suite = []Benchmark{
+	// ------------------------- low-sharing -------------------------
+	{
+		Name: "LavaMD", Abbr: "LAVAMD", PaperMB: 7, PaperROMB: 0.9,
+		// Particle cells vs. neighbor-cell windows shared by 4-CTA
+		// groups (one SM): 0.9 MB of centers, 4 MB of points.
+		Build: clusterBench(512, 4, 24, 8, 1792, 114688),
+	},
+	{
+		Name: "Lattice-Boltzmann", Abbr: "LBM", PaperMB: 389, PaperROMB: 33,
+		// Streaming with neighbor-distribution re-reads: 2x8 MB tiles
+		// swept twice, bandwidth-bound.
+		Build: streamBench(512, 8, 1, 2, 1),
+	},
+	{
+		Name: "DWT2D", Abbr: "DWT2D", PaperMB: 302, PaperROMB: 0.01,
+		// Two transform levels over 2x4 MB.
+		Build: streamBench(512, 4, 1, 2, 1),
+	},
+	{
+		Name: "Kmeans", Abbr: "KMEANS", PaperMB: 136, PaperROMB: 0.1,
+		// Streaming points vs. a tiny all-shared centroid table.
+		Build: clusterBench(320, 12, 16, 1<<20, 0, 16384),
+	},
+	{
+		Name: "Page View Count", Abbr: "PVC", PaperMB: 1081, PaperROMB: 0.6,
+		Build: mapReduceBench(384, 16, 131072),
+	},
+	{
+		Name: "Black-Scholes", Abbr: "BH", PaperMB: 48, PaperROMB: 5.3,
+		// Compute-heavy streaming.
+		Build: streamBench(512, 4, 8, 2, 1),
+	},
+	{
+		Name: "Wordcount", Abbr: "WC", PaperMB: 542, PaperROMB: 0.9,
+		Build: mapReduceBench(512, 12, 65536),
+	},
+	{
+		Name: "Stringmatch", Abbr: "SM", PaperMB: 146, PaperROMB: 1.2,
+		Build: mapReduceBench(384, 8, 131072),
+	},
+	{
+		Name: "2DConvolution", Abbr: "2DCONV", PaperMB: 1074, PaperROMB: 17,
+		Build: stencilBench(512, 8, 2, 1),
+	},
+	{
+		Name: "Mvt", Abbr: "MVT", PaperMB: 6443, PaperROMB: 0.1,
+		// Two passes over separate (pre-transposed) 12 MB matrices.
+		Build: matvecBench(512, 12, 2),
+	},
+	{
+		Name: "FastWalshTransform", Abbr: "FWT", PaperMB: 269, PaperROMB: 0.01,
+		Build: streamBench(512, 4, 1, 2, 2),
+	},
+	{
+		Name: "Backprop", Abbr: "BP", PaperMB: 75, PaperROMB: 0.4,
+		Build: streamBench(512, 4, 2, 2, 2),
+	},
+	{
+		Name: "Fdtd2D", Abbr: "FTD2D", PaperMB: 51, PaperROMB: 0.07,
+		Build: stencilBench(512, 4, 2, 3),
+	},
+	{
+		Name: "Convolution Separable", Abbr: "CONVS", PaperMB: 151, PaperROMB: 20,
+		Build: stencilBench(512, 6, 2, 2),
+	},
+	{
+		Name: "ATAX", Abbr: "ATAX", PaperMB: 1342, PaperROMB: 0.08,
+		Build: matvecBench(512, 8, 2),
+	},
+	{
+		Name: "Gesummv", Abbr: "GESUMM", PaperMB: 1073, PaperROMB: 0.1,
+		Build: matvecBench(512, 8, 2),
+	},
+
+	// ------------------------- high-sharing ------------------------
+	{
+		Name: "Streamcluster", Abbr: "SC", High: true, PaperMB: 302, PaperROMB: 8,
+		// Center windows shared by 24-CTA groups (4 SMs, 2 partitions);
+		// the shared working set exceeds a partition's slice capacity,
+		// so full replication pressures the LLC.
+		Build: clusterBench(384, 8, 96, 24, 24576, 786432),
+	},
+	{
+		Name: "2MM", Abbr: "2MM", High: true, PaperMB: 84, PaperROMB: 6,
+		// Two chained GEMMs; the lockstep k-sweep keeps the shared
+		// panel window small — the big full-replication winner.
+		Build: gemmBench(512, 256, 512, 2, 2),
+	},
+	{
+		Name: "Leukocyte", Abbr: "LEU", High: true, PaperMB: 2, PaperROMB: 1,
+		// A small image swept by every CTA with heavy reuse.
+		Build: dnnBench(256, 1, 6, 98304, 8192, 4096),
+	},
+	{
+		Name: "B+tree", Abbr: "BT", High: true, PaperMB: 39, PaperROMB: 36,
+		// Random traversals of a 12 MB shared read-only tree: the
+		// replication-thrashing case.
+		Build: func(alloc Alloc) ([]*kir.Launch, error) {
+			grid, iters, depth := 256, int64(2), int64(4)
+			keys := uint64(grid) * CTAThreads * uint64(iters) * 8
+			tsize := int64(1536 * 1024) // 12 MB
+			l, err := launch(kGather, grid, []int64{iters, depth, tsize},
+				[]kir.Binding{hbuf(alloc(keys), keys), hbuf(alloc(uint64(tsize)*8), uint64(tsize)*8), buf(alloc(keys), keys)})
+			if err != nil {
+				return nil, err
+			}
+			return []*kir.Launch{l}, nil
+		},
+	},
+	{
+		Name: "SGemm", Abbr: "SGEMM", High: true, PaperMB: 9, PaperROMB: 8,
+		Build: gemmBench(512, 256, 1024, 4, 1),
+	},
+	{
+		Name: "Matrixmul", Abbr: "MM", High: true, PaperMB: 8, PaperROMB: 7,
+		Build: gemmBench(512, 256, 512, 2, 1),
+	},
+	{
+		Name: "3DConvolution", Abbr: "3DCONV", High: true, PaperMB: 1074, PaperROMB: 68,
+		// Plane-stride neighbors land on pages owned by distant CTAs;
+		// a compute loop keeps it relatively bandwidth-insensitive.
+		Build: func(alloc Alloc) ([]*kir.Launch, error) {
+			grid, rows := 256, int64(12)
+			width := int64(CTAThreads)
+			plane := int64(16) * width * rows // 16 CTAs away: other SMs
+			size := uint64(grid) * uint64(rows) * uint64(width) * 8
+			l, err := launch(kStencil3D, grid, []int64{rows, width, plane, 6},
+				[]kir.Binding{buf(alloc(size), size), buf(alloc(size), size)})
+			if err != nil {
+				return nil, err
+			}
+			return []*kir.Launch{l}, nil
+		},
+	},
+	{
+		Name: "AlexNet", Abbr: "AN", High: true, PaperMB: 1, PaperROMB: 0.4,
+		// All-shared feature maps with a 96 KB live window: larger than
+		// the L1, smaller than a partition's slices — replication turns
+		// the crossbar-saturating re-reads into local hits.
+		Build: dnnBench(256, 2, 4, 49152, 12288, 4096),
+	},
+	{
+		Name: "SqueezeNet", Abbr: "SN", High: true, PaperMB: 1, PaperROMB: 0.9,
+		Build: dnnBench(256, 2, 4, 65536, 16384, 16384),
+	},
+	{
+		Name: "ResNet", Abbr: "RN", High: true, PaperMB: 4, PaperROMB: 0.7,
+		Build: dnnBench(256, 2, 4, 131072, 12288, 8192),
+	},
+	{
+		Name: "Gated Recurrent Unit", Abbr: "GRU", High: true, PaperMB: 2, PaperROMB: 0.4,
+		// Timesteps over ping-ponged hidden state swept through a
+		// 384 KB window: replicas exceed a partition's slices and are
+		// rebuilt after every kernel-boundary flush, so full
+		// replication loses.
+		Build: rnnBench(256, 4, 2, 65536, 49152, 4096),
+	},
+	{
+		Name: "Needleman-Wunsch", Abbr: "NW", High: true, PaperMB: 16, PaperROMB: 10,
+		// Sixteen diagonal-band launches over a shared reference.
+		Build: func(alloc Alloc) ([]*kir.Launch, error) {
+			grid, bands := 256, 16
+			width := int64(grid) * CTAThreads
+			matSize := uint64(bands+1) * uint64(width) * 8
+			refElems := int64(1048576) // 8 MB reference
+			mat := alloc(matSize)
+			ref := alloc(uint64(refElems) * 8)
+			var ls []*kir.Launch
+			for b := 1; b <= bands; b++ {
+				l, err := launch(kWavefront, grid, []int64{int64(b), width, refElems},
+					[]kir.Binding{buf(ref, uint64(refElems)*8), buf(mat, matSize)})
+				if err != nil {
+					return nil, err
+				}
+				ls = append(ls, l)
+			}
+			return ls, nil
+		},
+	},
+	{
+		Name: "BICG", Abbr: "BICG", High: true, PaperMB: 2013, PaperROMB: 472,
+		// Column-major then row-major sweeps of the SAME matrix: every
+		// page is shared across the two kernels' SM sets, and the large
+		// read-only matrix makes full replication thrash.
+		Build: func(alloc Alloc) ([]*kir.Launch, error) {
+			grid := 256
+			n := int64(grid) * CTAThreads // 65536 rows
+			k := int64(8)
+			asize := uint64(n) * uint64(k) * 8 // 8 MB
+			a := alloc(asize)
+			x := alloc(uint64(k) * 8)
+			y1 := alloc(uint64(n) * 8)
+			l1, err := launch(kMatvec, grid, []int64{k, n},
+				[]kir.Binding{buf(a, asize), buf(x, uint64(k)*8), buf(y1, uint64(n)*8)})
+			if err != nil {
+				return nil, err
+			}
+			x2 := alloc(uint64(k) * 8)
+			y2 := alloc(uint64(n) * 8)
+			l2, err := launch(kMatvecRow, grid, []int64{k},
+				[]kir.Binding{buf(a, asize), buf(x2, uint64(k)*8), buf(y2, uint64(n)*8)})
+			if err != nil {
+				return nil, err
+			}
+			return []*kir.Launch{l1, l2}, nil
+		},
+	},
+}

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/nuba-gpu/nuba/internal/kir"
+)
+
+func countingAlloc() (Alloc, *uint64) {
+	var total uint64
+	n := 0
+	return func(size uint64) uint64 {
+		total += size
+		n++
+		return uint64(n) << 40
+	}, &total
+}
+
+func TestSuiteComplete(t *testing.T) {
+	s := Suite()
+	if len(s) != 29 {
+		t.Fatalf("suite has %d benchmarks, Table 2 lists 29", len(s))
+	}
+	if len(LowSharing()) != 16 || len(HighSharing()) != 13 {
+		t.Fatalf("sharing split %d/%d, want 16/13", len(LowSharing()), len(HighSharing()))
+	}
+	seen := map[string]bool{}
+	for _, b := range s {
+		if seen[b.Abbr] {
+			t.Fatalf("duplicate abbreviation %s", b.Abbr)
+		}
+		seen[b.Abbr] = true
+		if b.PaperMB <= 0 {
+			t.Fatalf("%s: missing paper footprint", b.Abbr)
+		}
+	}
+}
+
+func TestAllBenchmarksBuildValidLaunches(t *testing.T) {
+	for _, b := range Suite() {
+		alloc, total := countingAlloc()
+		launches, err := b.Build(alloc)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Abbr, err)
+		}
+		if len(launches) == 0 {
+			t.Fatalf("%s: no launches", b.Abbr)
+		}
+		for i, l := range launches {
+			if err := l.Validate(); err != nil {
+				t.Fatalf("%s launch %d: %v", b.Abbr, i, err)
+			}
+			if !l.Kernel.Analyzed {
+				t.Fatalf("%s launch %d: kernel not analyzed", b.Abbr, i)
+			}
+			if l.GridDim < 64 {
+				t.Errorf("%s launch %d: grid %d underutilizes 64 SMs", b.Abbr, i, l.GridDim)
+			}
+		}
+		// Scaled footprints stay in the simulable window.
+		mb := float64(*total) / MB
+		if mb < 0.1 || mb > 64 {
+			t.Errorf("%s: scaled footprint %.1f MB out of range", b.Abbr, mb)
+		}
+	}
+}
+
+func TestByAbbr(t *testing.T) {
+	b, err := ByAbbr("SGEMM")
+	if err != nil || b.Name != "SGemm" {
+		t.Fatalf("ByAbbr: %v %v", b, err)
+	}
+	if _, err := ByAbbr("NOPE"); err == nil {
+		t.Fatal("unknown abbr accepted")
+	}
+}
+
+func TestReadOnlyClassificationPerTemplate(t *testing.T) {
+	// The compiler analysis must classify the shared inputs of the
+	// high-sharing kernels as read-only (they are MDR's fuel).
+	cases := []struct {
+		k      *kir.Kernel
+		roBufs []string
+		rwBufs []string
+	}{
+		{kStream, []string{"A"}, []string{"B"}},
+		{kGemm, []string{"A", "B"}, []string{"C"}},
+		{kDNNConv, []string{"IN", "W"}, []string{"OUT"}},
+		{kGather, []string{"KEYS", "TREE"}, []string{"OUT"}},
+		{kCluster, []string{"PTS", "CTR"}, []string{"OUT"}},
+		{kMatvec, []string{"A", "X"}, []string{"Y"}},
+		{kMapReduce, []string{"IN"}, []string{"TABLE"}},
+		{kWavefront, []string{"REF"}, []string{"MAT"}},
+	}
+	for _, c := range cases {
+		for _, name := range c.roBufs {
+			i := c.k.BufferIndex(name)
+			if i < 0 || !c.k.Buffers[i].ReadOnly {
+				t.Errorf("%s: buffer %s should be read-only", c.k.Name, name)
+			}
+		}
+		for _, name := range c.rwBufs {
+			i := c.k.BufferIndex(name)
+			if i < 0 || c.k.Buffers[i].ReadOnly {
+				t.Errorf("%s: buffer %s should be read-write", c.k.Name, name)
+			}
+		}
+	}
+}
+
+func TestHashValueDeterministic(t *testing.T) {
+	if hashValue(42) != hashValue(42) {
+		t.Fatal("hash value not deterministic")
+	}
+	if hashValue(1) == hashValue(2) {
+		t.Fatal("suspicious hash collision")
+	}
+}
+
+// TestBenchmarkKernelsTerminate functionally executes one warp of every
+// launch to guard against infinite loops in the kernel templates.
+func TestBenchmarkKernelsTerminate(t *testing.T) {
+	for _, b := range Suite() {
+		alloc, _ := countingAlloc()
+		launches, err := b.Build(alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for li, l := range launches {
+			w := kir.NewWarp(l, 0, 0)
+			var mem kir.MemInfo
+			for i := 0; i < 3_000_000 && !w.Exited; i++ {
+				w.Exec(&mem)
+			}
+			if !w.Exited {
+				t.Fatalf("%s launch %d: warp did not terminate", b.Abbr, li)
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package nuba is a cycle-level GPU memory-system simulator reproducing
+// "NUBA: Non-Uniform Bandwidth GPUs" (Zhao, Jahre, Tang, Zhang, Eeckhout;
+// ASPLOS 2023).
+//
+// It models three GPU system architectures — the conventional memory-side
+// Uniform Bandwidth Architecture (UBA), the SM-side UBA of the A100, and
+// the paper's Non-Uniform Bandwidth Architecture (NUBA) — together with
+// the full software/compiler/architecture stack NUBA needs: the
+// Local-And-Balanced (LAB) page placement policy in the GPU driver,
+// compile-time read-only data-flow analysis over a PTX-like kernel IR,
+// and Model-Driven Replication (MDR) of read-only shared cache lines.
+//
+// Quick start:
+//
+//	bench, _ := nuba.BenchmarkByAbbr("SGEMM")
+//	res, err := nuba.Run(nuba.NUBAConfig(), bench)
+//	if err != nil { ... }
+//	fmt.Println(res.Stats.IPC(), res.Stats.RepliesPerCycle())
+//
+// The three headline configurations are Baseline() (memory-side UBA),
+// SMSideConfig() and NUBAConfig(); Config methods (WithNoC, Scale,
+// WithPartition, ...) derive every sensitivity point in the paper's
+// evaluation. See DESIGN.md for the experiment index and EXPERIMENTS.md
+// for paper-versus-measured results.
+package nuba
+
+import (
+	"github.com/nuba-gpu/nuba/internal/config"
+	"github.com/nuba-gpu/nuba/internal/core"
+	"github.com/nuba-gpu/nuba/internal/energy"
+	"github.com/nuba-gpu/nuba/internal/kir"
+	"github.com/nuba-gpu/nuba/internal/metrics"
+	"github.com/nuba-gpu/nuba/internal/workload"
+)
+
+// Re-exported core types. These aliases are the supported public surface;
+// the internal packages they point at may reorganize freely.
+type (
+	// Config describes a simulated GPU system (Table 1 plus policies).
+	Config = config.Config
+	// Arch selects the GPU system architecture.
+	Arch = config.Arch
+	// PlacementPolicy selects the driver's page placement policy.
+	PlacementPolicy = config.PlacementPolicy
+	// ReplicationPolicy selects the cache-line replication policy.
+	ReplicationPolicy = config.ReplicationPolicy
+	// AddressMapping selects the physical address mapping policy.
+	AddressMapping = config.AddressMapping
+	// Stats holds the measured statistics of one run.
+	Stats = metrics.Stats
+	// Benchmark is one entry of the Table 2 workload suite.
+	Benchmark = workload.Benchmark
+	// System is an assembled GPU ready to run kernels.
+	System = core.GPU
+	// Kernel is a compiled kernel in the PTX-like IR.
+	Kernel = kir.Kernel
+	// Launch binds a kernel to a grid and buffers.
+	Launch = kir.Launch
+	// Binding places one buffer parameter in the virtual address space.
+	Binding = kir.Binding
+	// EnergyBreakdown is the per-component energy of a run.
+	EnergyBreakdown = energy.Breakdown
+	// SharingHistogram is the Figure 3 page-sharing data of a run.
+	SharingHistogram = metrics.SharingHistogram
+)
+
+// Architectures.
+const (
+	UBAMem    = config.UBAMem
+	UBASMSide = config.UBASMSide
+	NUBA      = config.NUBA
+)
+
+// Page placement policies (Section 4).
+const (
+	FirstTouch      = config.FirstTouch
+	RoundRobin      = config.RoundRobin
+	LAB             = config.LAB
+	Migration       = config.Migration
+	PageReplication = config.PageReplication
+)
+
+// Replication policies (Section 5).
+const (
+	NoRep   = config.NoRep
+	FullRep = config.FullRep
+	MDR     = config.MDR
+)
+
+// Address mappings (Section 2).
+const (
+	FixedChannel = config.FixedChannel
+	PAE          = config.PAE
+)
+
+// Baseline returns the Table 1 memory-side UBA GPU.
+func Baseline() Config { return config.Baseline() }
+
+// NUBAConfig returns the paper's NUBA GPU: 32 partitions of {2 SMs,
+// 2 LLC slices, 1 memory channel} with LAB placement and MDR replication.
+func NUBAConfig() Config { return config.NUBABaseline() }
+
+// SMSideConfig returns the SM-side UBA (A100-style) GPU.
+func SMSideConfig() Config { return config.SMSideBaseline() }
+
+// MCMConfig returns the Figure 16 four-module MCM GPU of the given
+// architecture.
+func MCMConfig(a Arch) Config { return config.MCM(a) }
+
+// NewSystem assembles a GPU for the configuration.
+func NewSystem(cfg Config) (*System, error) { return core.New(cfg) }
+
+// Suite returns the full 29-benchmark Table 2 suite.
+func Suite() []Benchmark { return workload.Suite() }
+
+// LowSharing returns the low-sharing half of the suite.
+func LowSharing() []Benchmark { return workload.LowSharing() }
+
+// HighSharing returns the high-sharing half of the suite.
+func HighSharing() []Benchmark { return workload.HighSharing() }
+
+// BenchmarkByAbbr looks a benchmark up by its Table 2 abbreviation
+// (e.g. "SGEMM", "BICG").
+func BenchmarkByAbbr(abbr string) (Benchmark, error) { return workload.ByAbbr(abbr) }
+
+// ParseKernel compiles kernel assembly (see internal/kir for the grammar)
+// and runs the read-only data-flow analysis.
+func ParseKernel(src string) (*Kernel, error) {
+	k, err := kir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	kir.AnalyzeReadOnly(k)
+	return k, nil
+}
+
+// Result bundles everything measured in one run.
+type Result struct {
+	// Stats are the hardware counters (IPC, bandwidth, breakdowns).
+	Stats *Stats
+	// Energy is the modeled energy breakdown.
+	Energy EnergyBreakdown
+	// Sharing is the page-sharing histogram.
+	Sharing *SharingHistogram
+	// System is the GPU the run executed on, for deeper inspection.
+	System *System
+}
+
+// IPC is shorthand for Stats.IPC.
+func (r *Result) IPC() float64 { return r.Stats.IPC() }
+
+// Run assembles a GPU for cfg, executes the benchmark's kernels to
+// completion and returns the measured result.
+func Run(cfg Config, b Benchmark) (*Result, error) {
+	g, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	launches, err := b.Build(g.NewBuffer)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.RunProgram(launches); err != nil {
+		return nil, err
+	}
+	bd := g.EnergyBreakdown(energy.DefaultParams())
+	return &Result{Stats: g.Stats(), Energy: bd, Sharing: g.Sharing(), System: g}, nil
+}
+
+// RunLaunches runs caller-constructed launches on a fresh system (the
+// low-level entry point for custom kernels).
+func RunLaunches(cfg Config, build func(sys *System) ([]*Launch, error)) (*Result, error) {
+	g, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	launches, err := build(g)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.RunProgram(launches); err != nil {
+		return nil, err
+	}
+	bd := g.EnergyBreakdown(energy.DefaultParams())
+	return &Result{Stats: g.Stats(), Energy: bd, Sharing: g.Sharing(), System: g}, nil
+}
+
+// Speedup returns a.IPC()/b.IPC() — but since runs execute identical work,
+// it uses the inverse cycle ratio, the paper's speedup definition.
+func Speedup(candidate, baseline *Result) float64 {
+	if candidate.Stats.Cycles == 0 {
+		return 0
+	}
+	return float64(baseline.Stats.Cycles) / float64(candidate.Stats.Cycles)
+}
