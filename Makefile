@@ -1,0 +1,25 @@
+# Convenience targets; `make check` mirrors CI.
+
+GO ?= go
+
+.PHONY: build vet test test-short race check clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -timeout 30m ./internal/experiments/...
+
+check: vet build test race
+
+clean:
+	$(GO) clean ./...

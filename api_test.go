@@ -1,6 +1,8 @@
 package nuba
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -124,6 +126,73 @@ func TestRunLaunchesAPI(t *testing.T) {
 	}
 	if res.Sharing.Pages() == 0 {
 		t.Fatal("no sharing data")
+	}
+}
+
+// TestRunContextCancellation: a canceled context must abort the
+// simulation instead of running it to completion.
+func TestRunContextCancellation(t *testing.T) {
+	bench, err := BenchmarkByAbbr("BP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, NUBAConfig().Scale(0.125), bench); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestRunSuiteMatchesRun: RunSuite must return results in input order
+// that match individual Run calls, for any worker count.
+func TestRunSuiteMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	var benches []Benchmark
+	for _, abbr := range []string{"BP", "LEU"} {
+		b, err := BenchmarkByAbbr(abbr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		benches = append(benches, b)
+	}
+	cfg := NUBAConfig().Scale(0.125)
+
+	var events int
+	results, err := RunSuite(context.Background(), cfg, benches, RunOptions{
+		Jobs:     4,
+		Progress: func(RunEvent) { events++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(benches) || events != len(benches) {
+		t.Fatalf("got %d results, %d events for %d benchmarks", len(results), events, len(benches))
+	}
+	for i, b := range benches {
+		serial, err := Run(cfg, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i].Stats.Cycles != serial.Stats.Cycles {
+			t.Fatalf("%s: RunSuite %d cycles, Run %d cycles",
+				b.Abbr, results[i].Stats.Cycles, serial.Stats.Cycles)
+		}
+	}
+}
+
+// TestRunSuiteCancellation: RunSuite under a pre-canceled context
+// returns ctx.Err() without simulating.
+func TestRunSuiteCancellation(t *testing.T) {
+	b, err := BenchmarkByAbbr("BP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSuite(ctx, NUBAConfig().Scale(0.125), []Benchmark{b, b}, RunOptions{Jobs: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }
 

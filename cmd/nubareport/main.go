@@ -1,17 +1,22 @@
 // Command nubareport runs every reproduction experiment and writes a
 // single report (EXPERIMENTS.md-style) to stdout or a file. This is the
-// long-running "regenerate the whole evaluation" entry point; expect a
-// multi-hour run at full scale.
+// long-running "regenerate the whole evaluation" entry point; simulations
+// run across a worker pool (-jobs), and Ctrl-C stops the run cleanly
+// after in-flight simulations wind down.
 //
 // Usage:
 //
-//	nubareport [-o report.md] [-scale 0.5] [-bench A,B,...] [-skip fig10,fig16]
+//	nubareport [-o report.md] [-jobs 8] [-scale 0.5] [-bench A,B,...] [-skip fig10,fig16]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,12 +29,20 @@ func main() {
 	scale := flag.Float64("scale", 1, "GPU scale factor")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset")
 	skip := flag.String("skip", "", "comma-separated experiments to skip")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "simulations to run in parallel (1 = serial)")
 	verbose := flag.Bool("v", false, "per-run progress on stderr")
 	flag.Parse()
 
-	opts := experiments.Options{Scale: *scale}
+	opts := experiments.Options{Scale: *scale, Jobs: *jobs}
 	if *verbose {
-		opts.Progress = os.Stderr
+		opts.OnEvent = func(ev experiments.Event) {
+			line := fmt.Sprintf("  [%d/%d] %-7s on %-28s cycles=%-9d elapsed=%s",
+				ev.Done, ev.Total, ev.Bench, ev.Config, ev.Cycles, ev.Elapsed.Round(1e8))
+			if ev.Remaining > 0 {
+				line += fmt.Sprintf(" eta=%s", ev.Remaining.Round(1e9))
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
 	}
 	if *benchList != "" {
 		for _, abbr := range strings.Split(*benchList, ",") {
@@ -59,6 +72,9 @@ func main() {
 		w = f
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	r := experiments.NewRunner(opts)
 	fmt.Fprintf(w, "# NUBA reproduction report\n\n")
 	for _, e := range experiments.All() {
@@ -68,8 +84,13 @@ func main() {
 		}
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "== %s ==\n", e.Name)
-		report, err := e.Run(r)
+		report, err := r.Execute(ctx, e)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(w, "## %s\n\nINTERRUPTED\n\n", e.Title)
+				fmt.Fprintln(os.Stderr, "nubareport: interrupted")
+				os.Exit(130)
+			}
 			fmt.Fprintf(w, "## %s\n\nERROR: %v\n\n", e.Title, err)
 			continue
 		}

@@ -1,16 +1,24 @@
-// Command nubasim runs one benchmark on one GPU configuration and prints
-// the measured statistics — the quickest way to poke at the simulator.
+// Command nubasim runs one or more benchmarks on one GPU configuration
+// and prints the measured statistics — the quickest way to poke at the
+// simulator. With several benchmarks (comma-separated, or "all" for the
+// full Table 2 suite) the runs execute across a worker pool (-jobs) and
+// print a compact per-benchmark table in suite order.
 //
 // Usage:
 //
 //	nubasim -arch nuba -bench SGEMM
 //	nubasim -arch uba -bench LBM -noc 700 -placement rr -replication none
+//	nubasim -arch nuba -bench all -jobs 8
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 
 	"github.com/nuba-gpu/nuba"
@@ -19,13 +27,15 @@ import (
 
 func main() {
 	arch := flag.String("arch", "nuba", "architecture: uba | sm-side | nuba")
-	bench := flag.String("bench", "SGEMM", "benchmark abbreviation (see nubasweep -list)")
+	bench := flag.String("bench", "SGEMM", "benchmark abbreviation(s), comma-separated, or 'all' (see nubasweep -list)")
 	nocGBs := flag.Float64("noc", 1400, "NoC bandwidth in GB/s")
 	placement := flag.String("placement", "", "page placement: ft | rr | lab | migration | pagerep (default: arch default)")
 	replication := flag.String("replication", "", "replication: none | full | mdr (default: arch default)")
 	scale := flag.Float64("scale", 1, "GPU scale factor")
 	pae := flag.Bool("pae", false, "use the PAE address mapping")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "benchmarks to simulate in parallel (1 = serial)")
+	verbose := flag.Bool("v", false, "per-run progress on stderr (multi-benchmark mode)")
 	flag.Parse()
 
 	var cfg nuba.Config
@@ -74,16 +84,45 @@ func main() {
 		os.Exit(2)
 	}
 
-	b, err := nuba.BenchmarkByAbbr(strings.ToUpper(*bench))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "nubasim:", err)
-		os.Exit(2)
+	var benches []nuba.Benchmark
+	if strings.EqualFold(*bench, "all") {
+		benches = nuba.Suite()
+	} else {
+		for _, abbr := range strings.Split(*bench, ",") {
+			b, err := nuba.BenchmarkByAbbr(strings.ToUpper(strings.TrimSpace(abbr)))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nubasim:", err)
+				os.Exit(2)
+			}
+			benches = append(benches, b)
+		}
 	}
-	fmt.Printf("running %s (%s) on %s...\n", b.Abbr, b.Name, cfg.Name())
-	res, err := nuba.Run(cfg, b)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var err error
+	if len(benches) == 1 {
+		err = runOne(ctx, cfg, benches[0])
+	} else {
+		err = runMany(ctx, cfg, benches, *jobs, *verbose)
+	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "nubasim: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "nubasim:", err)
 		os.Exit(1)
+	}
+}
+
+// runOne simulates a single benchmark and prints the full statistics.
+func runOne(ctx context.Context, cfg nuba.Config, b nuba.Benchmark) error {
+	fmt.Printf("running %s (%s) on %s...\n", b.Abbr, b.Name, cfg.Name())
+	res, err := nuba.RunContext(ctx, cfg, b)
+	if err != nil {
+		return err
 	}
 	st := res.Stats
 	fmt.Printf("cycles:            %d\n", st.Cycles)
@@ -107,6 +146,31 @@ func main() {
 	if st.MDRDecisions > 0 {
 		fmt.Printf("MDR epochs:        %d (%d replicating)\n", st.MDRDecisions, st.MDREpochsReplicating)
 	}
+	return nil
+}
+
+// runMany simulates the benchmarks across a worker pool and prints a
+// compact table in input order (independent of completion order).
+func runMany(ctx context.Context, cfg nuba.Config, benches []nuba.Benchmark, jobs int, verbose bool) error {
+	fmt.Printf("running %d benchmarks on %s (%d workers)...\n", len(benches), cfg.Name(), nuba.RunOptions{Jobs: jobs}.Workers())
+	opts := nuba.RunOptions{Jobs: jobs}
+	if verbose {
+		opts.Progress = func(ev nuba.RunEvent) {
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %-7s cycles=%-9d elapsed=%s\n",
+				ev.Done, ev.Total, ev.Benchmark, ev.Result.Stats.Cycles, ev.Elapsed.Round(1e8))
+		}
+	}
+	results, err := nuba.RunSuite(ctx, cfg, benches, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-12s %-8s %-10s %-8s %-8s\n", "Bench", "Cycles", "IPC", "Replies/c", "L1miss", "Local")
+	for i, b := range benches {
+		st := results[i].Stats
+		fmt.Printf("%-8s %-12d %-8.3f %-10.3f %-8.3f %-8.3f\n",
+			b.Abbr, st.Cycles, st.IPC(), st.RepliesPerCycle(), st.L1MissRate(), st.LocalFraction())
+	}
+	return nil
 }
 
 func max64(a, b int64) int64 {

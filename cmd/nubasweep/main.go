@@ -1,26 +1,46 @@
 // Command nubasweep runs one named reproduction experiment (a paper table
-// or figure) and prints its report.
+// or figure) and prints its report. Simulations execute across a worker
+// pool (-jobs); the report is byte-identical for any worker count.
 //
 // Usage:
 //
-//	nubasweep -exp fig7 [-bench SGEMM,BICG] [-scale 0.5] [-v]
+//	nubasweep -exp fig7 [-jobs 8] [-bench SGEMM,BICG] [-scale 0.5] [-v]
 //	nubasweep -list
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 
 	"github.com/nuba-gpu/nuba/internal/experiments"
 	"github.com/nuba-gpu/nuba/internal/workload"
 )
 
+// progressPrinter returns an event sink that prints one line per
+// completed run with counts, elapsed time and the linear-extrapolation
+// ETA.
+func progressPrinter(w *os.File) func(experiments.Event) {
+	return func(ev experiments.Event) {
+		line := fmt.Sprintf("  [%d/%d] %-7s on %-28s cycles=%-9d ipc=%.2f elapsed=%s",
+			ev.Done, ev.Total, ev.Bench, ev.Config, ev.Cycles, ev.IPC, ev.Elapsed.Round(1e8))
+		if ev.Remaining > 0 {
+			line += fmt.Sprintf(" eta=%s", ev.Remaining.Round(1e9))
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiment name (see -list)")
 	benchList := flag.String("bench", "", "comma-separated benchmark abbreviations (default: full suite)")
 	scale := flag.Float64("scale", 1, "GPU scale factor (1 = 64-SM baseline)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "simulations to run in parallel (1 = serial)")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	list := flag.Bool("list", false, "list experiments and benchmarks")
 	flag.Parse()
@@ -44,9 +64,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nubasweep: -exp required (or -list)")
 		os.Exit(2)
 	}
-	opts := experiments.Options{Scale: *scale}
+	opts := experiments.Options{Scale: *scale, Jobs: *jobs}
 	if *verbose {
-		opts.Progress = os.Stderr
+		opts.OnEvent = progressPrinter(os.Stderr)
 	}
 	if *benchList != "" {
 		for _, abbr := range strings.Split(*benchList, ",") {
@@ -63,10 +83,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nubasweep:", err)
 		os.Exit(2)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	r := experiments.NewRunner(opts)
 	fmt.Printf("== %s ==\n", e.Title)
-	report, err := e.Run(r)
+	report, err := r.Execute(ctx, e)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "nubasweep: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "nubasweep:", err)
 		os.Exit(1)
 	}

@@ -539,6 +539,18 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// Fingerprint returns a canonical identity string covering every
+// semantic field of the configuration, including nested timing. Two
+// configurations share a fingerprint iff they describe the same simulated
+// system, so the string is safe as a memoization key (the experiment
+// engine's run cache) and for test assertions. The %+v rendering walks
+// the whole struct by reflection, so newly added fields are covered
+// automatically rather than silently aliasing distinct configs the way a
+// hand-picked field list would.
+func (c *Config) Fingerprint() string {
+	return fmt.Sprintf("%+v", *c)
+}
+
 // Name returns a short identifier for result tables, e.g.
 // "NUBA/LAB/MDR/1400GBs".
 func (c *Config) Name() string {

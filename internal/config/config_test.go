@@ -1,6 +1,9 @@
 package config
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestBaselineMatchesTable1(t *testing.T) {
 	c := Baseline()
@@ -144,6 +147,59 @@ func TestArchPolicyDefaults(t *testing.T) {
 	}
 	if u := NUBABaseline().WithArch(UBAMem); u.Placement != RoundRobin || u.Replication != NoRep {
 		t.Fatal("UBA defaults")
+	}
+}
+
+// perturb changes one struct field in place to a different valid-typed
+// value, recursing into nested structs (HBMTiming). It returns false for
+// kinds it cannot alter.
+func perturb(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float()*2 + 1)
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.Struct:
+		return perturb(v.Field(0))
+	default:
+		return false
+	}
+	return true
+}
+
+// TestFingerprintCoversEveryField guards the run-memoization key: editing
+// ANY field of Config must change the fingerprint, so two configs that
+// differ anywhere (LABThreshold, replication knobs, timing, ...) can never
+// alias in the experiment engine's cache.
+func TestFingerprintCoversEveryField(t *testing.T) {
+	base := Baseline()
+	ref := base.Fingerprint()
+	typ := reflect.TypeOf(base)
+	for i := 0; i < typ.NumField(); i++ {
+		c := base // fresh copy each field
+		f := reflect.ValueOf(&c).Elem().Field(i)
+		if !perturb(f) {
+			t.Fatalf("field %s: unsupported kind %s in perturb helper — extend it", typ.Field(i).Name, f.Kind())
+		}
+		if got := c.Fingerprint(); got == ref {
+			t.Errorf("fingerprint ignores field %s", typ.Field(i).Name)
+		}
+	}
+}
+
+func TestFingerprintStableForEqualConfigs(t *testing.T) {
+	a, b := NUBABaseline(), NUBABaseline()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical configs must share a fingerprint")
+	}
+	c := NUBABaseline()
+	c.LABThreshold = 0.95
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("LABThreshold edit must change the fingerprint")
 	}
 }
 

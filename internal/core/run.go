@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/nuba-gpu/nuba/internal/config"
@@ -11,6 +12,13 @@ import (
 // RunKernel executes one kernel launch to completion, including the
 // kernel-boundary software-coherence flush (L1s and LLC, replica drop).
 func (g *GPU) RunKernel(l *kir.Launch) error {
+	return g.RunKernelContext(context.Background(), l)
+}
+
+// RunKernelContext is RunKernel with cancellation: the cycle loop polls
+// ctx between batches of cycles and aborts the simulation with an error
+// wrapping ctx.Err() once the context is done.
+func (g *GPU) RunKernelContext(ctx context.Context, l *kir.Launch) error {
 	if err := l.Validate(); err != nil {
 		return err
 	}
@@ -19,18 +27,26 @@ func (g *GPU) RunKernel(l *kir.Launch) error {
 		g.prewarm(l)
 	}
 	g.assignCTAs(l)
-	if err := g.runUntilIdle(); err != nil {
+	if err := g.runUntilIdle(ctx); err != nil {
 		return err
 	}
 	g.kernelBoundaryFlush()
-	return g.runUntilIdle()
+	return g.runUntilIdle(ctx)
 }
 
 // RunProgram executes a sequence of launches back-to-back (multi-kernel
 // workloads such as the DNN benchmarks).
 func (g *GPU) RunProgram(launches []*kir.Launch) error {
+	return g.RunProgramContext(context.Background(), launches)
+}
+
+// RunProgramContext executes a sequence of launches under a context. A
+// long simulation stops promptly (within one cycle batch) after the
+// context is canceled, returning an error that wraps ctx.Err(); the GPU's
+// statistics reflect the partial run.
+func (g *GPU) RunProgramContext(ctx context.Context, launches []*kir.Launch) error {
 	for i, l := range launches {
-		if err := g.RunKernel(l); err != nil {
+		if err := g.RunKernelContext(ctx, l); err != nil {
 			return fmt.Errorf("kernel %d (%s): %w", i, l.Kernel.Name, err)
 		}
 	}
@@ -59,9 +75,16 @@ func (g *GPU) assignCTAs(l *kir.Launch) {
 	}
 }
 
-// runUntilIdle advances the clock until every component drains.
-func (g *GPU) runUntilIdle() error {
+// runUntilIdle advances the clock until every component drains or the
+// context is canceled. The ctx poll sits outside the 64-cycle inner batch
+// so its cost is amortized over thousands of component ticks.
+func (g *GPU) runUntilIdle(ctx context.Context) error {
 	for {
+		if err := ctx.Err(); err != nil {
+			g.stats.Cycles = int64(g.cycle)
+			g.collect()
+			return fmt.Errorf("core: run canceled at cycle %d: %w", g.cycle, err)
+		}
 		for i := 0; i < 64; i++ {
 			g.step()
 		}

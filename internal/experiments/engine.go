@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/nuba-gpu/nuba"
+	"github.com/nuba-gpu/nuba/internal/workload"
+)
+
+// Job is one (configuration, benchmark) simulation an experiment needs.
+// Jobs are identified by the configuration's canonical Fingerprint plus
+// the benchmark abbreviation, so configurations differing in any semantic
+// field are distinct cache entries.
+type Job struct {
+	Config nuba.Config
+	Bench  workload.Benchmark
+}
+
+// jobKey is the memo-cache identity of a job.
+func jobKey(cfg *nuba.Config, abbr string) string {
+	return cfg.Fingerprint() + "|" + abbr
+}
+
+// Event is one structured progress notification from the engine.
+type Event struct {
+	// Bench and Config identify the completed run.
+	Bench  string
+	Config string
+	// Cycles, IPC and LocalFrac summarize the run.
+	Cycles    int64
+	IPC       float64
+	LocalFrac float64
+	// Done counts completed simulations; Total the simulations planned
+	// so far (Total is 0 when running outside the engine, where the job
+	// set is unknown).
+	Done, Total int
+	// Elapsed is the wall-clock time since the first simulation
+	// started; Remaining is the linear-extrapolation ETA (zero when
+	// Total is unknown).
+	Elapsed, Remaining time.Duration
+}
+
+// emitLocked reports one completed run to the configured sinks. Callers
+// hold r.mu, which also serializes OnEvent callbacks.
+func (r *Runner) emitLocked(cfgName, abbr string, res *nuba.Result) {
+	if r.opts.Progress == nil && r.opts.OnEvent == nil {
+		return
+	}
+	elapsed := time.Since(r.started)
+	if r.opts.Progress != nil {
+		fmt.Fprintf(r.opts.Progress, "  ran %-7s on %-28s cycles=%-9d ipc=%.2f local=%.2f\n",
+			abbr, cfgName, res.Stats.Cycles, res.Stats.IPC(), res.Stats.LocalFraction())
+	}
+	if r.opts.OnEvent != nil {
+		ev := Event{
+			Bench:  abbr,
+			Config: cfgName,
+			Cycles: res.Stats.Cycles, IPC: res.Stats.IPC(), LocalFrac: res.Stats.LocalFraction(),
+			Done: r.done, Total: r.planned,
+			Elapsed: elapsed,
+		}
+		if r.planned > r.done && r.done > 0 {
+			ev.Remaining = time.Duration(float64(elapsed) / float64(r.done) * float64(r.planned-r.done))
+		}
+		r.opts.OnEvent(ev)
+	}
+}
+
+// workers returns the effective worker-pool size.
+func (r *Runner) workers() int {
+	if r.opts.Jobs > 0 {
+		return r.opts.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Execute runs one experiment through the concurrent engine: it
+// enumerates the experiment's deduplicated jobs, simulates them across
+// the worker pool into the memo cache, then renders the report serially
+// from the warm cache. The rendered report is byte-identical to a fully
+// serial run for any worker count, because rendering always walks the
+// benchmarks in presentation order and every simulation is deterministic
+// given its configuration. A canceled ctx stops scheduling promptly and
+// surfaces an error wrapping ctx.Err().
+func (r *Runner) Execute(ctx context.Context, e Experiment) (string, error) {
+	if e.Plan != nil {
+		if err := r.Prefetch(ctx, e.Plan(r)); err != nil {
+			return "", err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return e.Run(r)
+}
+
+// Prefetch simulates the given jobs across the worker pool, deduplicating
+// against each other and against runs already cached. It returns the
+// first simulation error (canceling the rest), or ctx's error if the
+// context was canceled.
+func (r *Runner) Prefetch(ctx context.Context, jobs []Job) error {
+	fresh := r.admit(jobs)
+	if len(fresh) == 0 {
+		return ctx.Err()
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := r.workers()
+	if workers > len(fresh) {
+		workers = len(fresh)
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	ch := make(chan Job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				if runCtx.Err() != nil {
+					continue // drain without simulating after cancel
+				}
+				if _, err := r.runCtx(runCtx, j.Config, j.Bench); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+						cancel()
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for _, j := range fresh {
+		select {
+		case ch <- j:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// admit deduplicates jobs against each other and the cache, accounts the
+// survivors in the progress totals and returns them.
+func (r *Runner) admit(jobs []Job) []Job {
+	var fresh []Job
+	seen := make(map[string]bool, len(jobs))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, j := range jobs {
+		k := jobKey(&j.Config, j.Bench.Abbr)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if _, ok := r.cache[k]; ok {
+			continue
+		}
+		fresh = append(fresh, j)
+	}
+	r.planned += len(fresh)
+	if len(fresh) > 0 && r.started.IsZero() {
+		r.started = time.Now()
+	}
+	return fresh
+}
+
+// cross pairs every benchmark of the runner's workload set with every
+// configuration, in order.
+func (r *Runner) cross(cfgs ...nuba.Config) []Job {
+	jobs := make([]Job, 0, len(cfgs)*len(r.opts.Benchmarks))
+	for _, cfg := range cfgs {
+		for _, b := range r.opts.Benchmarks {
+			jobs = append(jobs, Job{Config: cfg, Bench: b})
+		}
+	}
+	return jobs
+}
+
+// isoPlan enumerates the shared Section 7 iso-resource runs
+// (fig7/8/9/13).
+func (r *Runner) isoPlan() []Job {
+	cfgs := r.isoConfigs()
+	var list []nuba.Config
+	for _, name := range sortedKeys(cfgs) {
+		list = append(list, cfgs[name])
+	}
+	return r.cross(list...)
+}
+
+func (r *Runner) fig3Plan() []Job {
+	return r.cross(r.scaled(nuba.Baseline()))
+}
+
+func (r *Runner) fig10Plan() []Job {
+	cfgs := []nuba.Config{r.scaled(nuba.Baseline())}
+	for _, p := range r.fig10Points() {
+		cfgs = append(cfgs, p.cfg)
+	}
+	return r.cross(cfgs...)
+}
+
+func (r *Runner) fig11Plan() []Job {
+	base, ft, rr, lab := r.fig11Configs()
+	return r.cross(base, ft, rr, lab)
+}
+
+func (r *Runner) fig12Plan() []Job {
+	noRep, fullRep, mdr := r.fig12Configs()
+	return r.cross(noRep, fullRep, mdr)
+}
+
+// sensitivityPlan enumerates the UBA-vs-NUBA runs of one Figure 14
+// sensitivity sweep.
+func (r *Runner) sensitivityPlan(variants map[string]func(nuba.Config) nuba.Config) []Job {
+	var cfgs []nuba.Config
+	for _, name := range sortedKeys(variants) {
+		f := variants[name]
+		cfgs = append(cfgs, f(r.scaled(nuba.Baseline())), f(r.scaled(nuba.NUBAConfig())))
+	}
+	return r.cross(cfgs...)
+}
+
+func (r *Runner) fig14SizePlan() []Job      { return r.sensitivityPlan(fig14SizeVariants) }
+func (r *Runner) fig14PartitionPlan() []Job { return r.sensitivityPlan(fig14PartitionVariants) }
+func (r *Runner) fig14LLCPlan() []Job       { return r.sensitivityPlan(fig14LLCVariants) }
+func (r *Runner) fig14PagePlan() []Job      { return r.sensitivityPlan(fig14PageVariants) }
+
+func (r *Runner) fig14AddrMapPlan() []Job {
+	ubaPAE, nub := r.fig14AddrMapConfigs()
+	return r.cross(ubaPAE, nub)
+}
+
+func (r *Runner) fig14LABPlan() []Job {
+	base, variants := r.fig14LABConfigs()
+	return r.cross(append([]nuba.Config{base}, variants...)...)
+}
+
+func (r *Runner) fig16Plan() []Job {
+	monoUBA, monoNUBA, mcmUBA, mcmNUBA := r.fig16Configs()
+	return r.cross(monoUBA, monoNUBA, mcmUBA, mcmNUBA)
+}
+
+func (r *Runner) altPlacementPlan() []Job {
+	base, lab, mig, rep := r.altConfigs()
+	return r.cross(base, lab, mig, rep)
+}

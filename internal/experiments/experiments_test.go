@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -49,6 +51,118 @@ func TestFig3SmallSubset(t *testing.T) {
 	}
 	if !strings.Contains(out, "BP") || !strings.Contains(out, "SGEMM") {
 		t.Fatalf("fig3 output:\n%s", out)
+	}
+}
+
+// TestParallelMatchesSerial is the engine's determinism contract: a
+// serial run (jobs=1) and a jobs=4 run of the same experiment must
+// produce byte-identical report text and identical cycle counts for
+// every (config, benchmark) pair.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	bp, _ := workload.ByAbbr("BP")
+	leu, _ := workload.ByAbbr("LEU")
+	benches := []workload.Benchmark{bp, leu}
+	e, err := ByName("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := NewRunner(Options{Scale: 0.125, Benchmarks: benches, Jobs: 1})
+	serialOut, err := serial.Execute(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := NewRunner(Options{Scale: 0.125, Benchmarks: benches, Jobs: 4})
+	parOut, err := par.Execute(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if serialOut != parOut {
+		t.Fatalf("jobs=4 report differs from jobs=1:\n--- serial ---\n%s\n--- jobs=4 ---\n%s", serialOut, parOut)
+	}
+	if len(serial.cache) == 0 || len(serial.cache) != len(par.cache) {
+		t.Fatalf("cache sizes differ: serial %d, parallel %d", len(serial.cache), len(par.cache))
+	}
+	for key, se := range serial.cache {
+		pe, ok := par.cache[key]
+		if !ok {
+			t.Fatalf("parallel runner missing run %q", key)
+		}
+		if se.res.Stats.Cycles != pe.res.Stats.Cycles {
+			t.Fatalf("run %q: serial %d cycles, parallel %d cycles",
+				key, se.res.Stats.Cycles, pe.res.Stats.Cycles)
+		}
+	}
+}
+
+// TestExecutePrefetchesPlan checks that the engine's job plan covers the
+// runs the renderer consumes: after Prefetch, rendering must hit the
+// cache only (no new simulations).
+func TestExecutePrefetchesPlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	bp, _ := workload.ByAbbr("BP")
+	r := NewRunner(Options{Scale: 0.125, Benchmarks: []workload.Benchmark{bp}, Jobs: 2})
+	e, _ := ByName("fig12")
+	if err := r.Prefetch(context.Background(), e.Plan(r)); err != nil {
+		t.Fatal(err)
+	}
+	before := len(r.cache)
+	if before == 0 {
+		t.Fatal("plan enumerated no jobs")
+	}
+	if _, err := e.Run(r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.cache) != before {
+		t.Fatalf("rendering simulated %d runs the plan missed", len(r.cache)-before)
+	}
+}
+
+// TestCanceledContextStopsEngine: a context canceled mid-run stops
+// scheduling promptly and surfaces ctx.Err().
+func TestCanceledContextStopsEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	bp, _ := workload.ByAbbr("BP")
+	leu, _ := workload.ByAbbr("LEU")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := NewRunner(Options{
+		Scale: 0.125, Benchmarks: []workload.Benchmark{bp, leu}, Jobs: 1,
+		// Cancel as soon as the first run completes; the engine must
+		// then refuse to schedule the remaining jobs.
+		OnEvent: func(Event) { cancel() },
+	})
+	e, _ := ByName("fig7")
+	_, err := r.Execute(ctx, e)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := len(r.cache); got >= 8 {
+		t.Fatalf("engine kept scheduling after cancel: %d runs cached", got)
+	}
+}
+
+// TestPreCanceledContext: an already-canceled context returns before any
+// simulation starts.
+func TestPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunner(Options{Jobs: 4})
+	e, _ := ByName("fig7")
+	_, err := r.Execute(ctx, e)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if len(r.cache) != 0 {
+		t.Fatalf("simulated %d runs under a canceled context", len(r.cache))
 	}
 }
 

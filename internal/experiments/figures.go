@@ -163,20 +163,29 @@ func (r *Runner) fig9() (string, error) {
 	return bld.String(), nil
 }
 
-// fig10 sweeps the NoC bandwidth and reports performance vs NoC power.
-func (r *Runner) fig10() (string, error) {
-	type point struct {
-		arch string
-		cfg  nuba.Config
-	}
-	var points []point
+// fig10Point is one architecture/NoC-bandwidth combination of Figure 10.
+type fig10Point struct {
+	arch string
+	cfg  nuba.Config
+}
+
+// fig10Points enumerates the Figure 10 sweep (shared by the renderer and
+// the engine's job plan).
+func (r *Runner) fig10Points() []fig10Point {
+	var points []fig10Point
 	for _, gbs := range []float64{700, 1400, 2800, 5600} {
 		points = append(points,
-			point{"UBA-mem", r.scaled(nuba.Baseline().WithNoC(gbs))},
-			point{"UBA-SM", r.scaled(nuba.SMSideConfig().WithNoC(gbs))},
-			point{"NUBA", r.scaled(nuba.NUBAConfig().WithNoC(gbs))},
+			fig10Point{"UBA-mem", r.scaled(nuba.Baseline().WithNoC(gbs))},
+			fig10Point{"UBA-SM", r.scaled(nuba.SMSideConfig().WithNoC(gbs))},
+			fig10Point{"NUBA", r.scaled(nuba.NUBAConfig().WithNoC(gbs))},
 		)
 	}
+	return points
+}
+
+// fig10 sweeps the NoC bandwidth and reports performance vs NoC power.
+func (r *Runner) fig10() (string, error) {
+	points := r.fig10Points()
 	baseCfg := r.scaled(nuba.Baseline())
 	t := &metrics.Table{Header: []string{"Config", "NoC GB/s", "Perf vs UBA@1400", "NoC power (W)"}}
 	for _, p := range points {
@@ -204,17 +213,23 @@ func (r *Runner) fig10() (string, error) {
 	return bld.String(), nil
 }
 
+// fig11Configs returns the Figure 11 comparison set.
+func (r *Runner) fig11Configs() (base, ft, rr, lab nuba.Config) {
+	base = r.scaled(nuba.Baseline())
+	ft = r.scaled(nuba.NUBAConfig())
+	ft.Placement = nuba.FirstTouch
+	rr = r.scaled(nuba.NUBAConfig())
+	rr.Placement = nuba.RoundRobin
+	lab = r.scaled(nuba.NUBAConfig())
+	lab.Placement = nuba.LAB
+	return base, ft, rr, lab
+}
+
 // fig11 compares page allocation policies on NUBA (no replication, to
 // isolate placement as in the paper's Figure 11 with MDR active — the
 // paper applies MDR; we follow it).
 func (r *Runner) fig11() (string, error) {
-	base := r.scaled(nuba.Baseline())
-	ft := r.scaled(nuba.NUBAConfig())
-	ft.Placement = nuba.FirstTouch
-	rr := r.scaled(nuba.NUBAConfig())
-	rr.Placement = nuba.RoundRobin
-	lab := r.scaled(nuba.NUBAConfig())
-	lab.Placement = nuba.LAB
+	base, ft, rr, lab := r.fig11Configs()
 	t := &metrics.Table{Header: []string{"Bench", "Class", "FT vs UBA", "RR vs UBA", "LAB vs UBA"}}
 	var ftS, rrS, labS []float64
 	for _, b := range r.opts.Benchmarks {
@@ -251,13 +266,19 @@ func (r *Runner) fig11() (string, error) {
 	return bld.String(), nil
 }
 
+// fig12Configs returns the Figure 12 replication-policy set.
+func (r *Runner) fig12Configs() (noRep, fullRep, mdr nuba.Config) {
+	noRep = r.scaled(nuba.NUBAConfig())
+	noRep.Replication = nuba.NoRep
+	fullRep = r.scaled(nuba.NUBAConfig())
+	fullRep.Replication = nuba.FullRep
+	mdr = r.scaled(nuba.NUBAConfig())
+	return noRep, fullRep, mdr
+}
+
 // fig12 compares replication policies on NUBA with LAB placement.
 func (r *Runner) fig12() (string, error) {
-	noRep := r.scaled(nuba.NUBAConfig())
-	noRep.Replication = nuba.NoRep
-	fullRep := r.scaled(nuba.NUBAConfig())
-	fullRep.Replication = nuba.FullRep
-	mdr := r.scaled(nuba.NUBAConfig())
+	noRep, fullRep, mdr := r.fig12Configs()
 	t := &metrics.Table{Header: []string{"Bench", "Class", "Full-Rep", "MDR", "LLCmiss No/Full"}}
 	var fullS, mdrS []float64
 	for _, b := range r.opts.Benchmarks {
@@ -352,42 +373,57 @@ func (r *Runner) sensitivity(label string, variants map[string]func(nuba.Config)
 	return t.String(), nil
 }
 
-func (r *Runner) fig14Size() (string, error) {
-	return r.sensitivity("GPU size", map[string]func(nuba.Config) nuba.Config{
+// The Figure 14 sensitivity variants, shared between the renderers and
+// the engine's job plans. Immutable after init.
+var (
+	fig14SizeVariants = map[string]func(nuba.Config) nuba.Config{
 		"0.5x (32 SMs)": func(c nuba.Config) nuba.Config { return c.Scale(0.5) },
 		"1x (64 SMs)":   func(c nuba.Config) nuba.Config { return c },
 		"2x (128 SMs)":  func(c nuba.Config) nuba.Config { return c.Scale(2) },
-	})
-}
-
-func (r *Runner) fig14Partition() (string, error) {
-	return r.sensitivity("Slices/partition", map[string]func(nuba.Config) nuba.Config{
+	}
+	fig14PartitionVariants = map[string]func(nuba.Config) nuba.Config{
 		"1 slice":  func(c nuba.Config) nuba.Config { return c.WithPartition(1) },
 		"2 slices": func(c nuba.Config) nuba.Config { return c },
 		"4 slices": func(c nuba.Config) nuba.Config { return c.WithPartition(4) },
-	})
-}
-
-func (r *Runner) fig14LLC() (string, error) {
-	return r.sensitivity("LLC capacity", map[string]func(nuba.Config) nuba.Config{
+	}
+	fig14LLCVariants = map[string]func(nuba.Config) nuba.Config{
 		"0.5x (3 MB)": func(c nuba.Config) nuba.Config { return c.WithLLCCapacity(0.5) },
 		"1x (6 MB)":   func(c nuba.Config) nuba.Config { return c },
 		"2x (12 MB)":  func(c nuba.Config) nuba.Config { return c.WithLLCCapacity(2) },
-	})
+	}
+	fig14PageVariants = map[string]func(nuba.Config) nuba.Config{
+		"4 KB": func(c nuba.Config) nuba.Config { return c },
+		"2 MB": func(c nuba.Config) nuba.Config { c.PageSize = 2 << 20; return c },
+	}
+)
+
+func (r *Runner) fig14Size() (string, error) {
+	return r.sensitivity("GPU size", fig14SizeVariants)
+}
+
+func (r *Runner) fig14Partition() (string, error) {
+	return r.sensitivity("Slices/partition", fig14PartitionVariants)
+}
+
+func (r *Runner) fig14LLC() (string, error) {
+	return r.sensitivity("LLC capacity", fig14LLCVariants)
 }
 
 func (r *Runner) fig14Page() (string, error) {
-	return r.sensitivity("Page size", map[string]func(nuba.Config) nuba.Config{
-		"4 KB": func(c nuba.Config) nuba.Config { return c },
-		"2 MB": func(c nuba.Config) nuba.Config { c.PageSize = 2 << 20; return c },
-	})
+	return r.sensitivity("Page size", fig14PageVariants)
+}
+
+// fig14AddrMapConfigs returns the UBA+PAE versus NUBA pair.
+func (r *Runner) fig14AddrMapConfigs() (ubaPAE, nub nuba.Config) {
+	ubaPAE = r.scaled(nuba.Baseline())
+	ubaPAE.AddressMap = nuba.PAE
+	nub = r.scaled(nuba.NUBAConfig())
+	return ubaPAE, nub
 }
 
 // fig14AddrMap compares NUBA (fixed-channel) against UBA with PAE.
 func (r *Runner) fig14AddrMap() (string, error) {
-	ubaPAE := r.scaled(nuba.Baseline())
-	ubaPAE.AddressMap = nuba.PAE
-	nub := r.scaled(nuba.NUBAConfig())
+	ubaPAE, nub := r.fig14AddrMapConfigs()
 	var low, high []float64
 	for _, b := range r.opts.Benchmarks {
 		ub, err := r.run(ubaPAE, b)
@@ -411,13 +447,27 @@ func (r *Runner) fig14AddrMap() (string, error) {
 	return bld.String(), nil
 }
 
-func (r *Runner) fig14LAB() (string, error) {
-	base := r.scaled(nuba.Baseline())
-	t := &metrics.Table{Header: []string{"LAB threshold", "vs UBA (low)", "(high)", "(all)"}}
-	for _, th := range []float64{0.8, 0.9, 0.95} {
+// fig14LABThresholds are the Figure 14 LAB sweep points.
+var fig14LABThresholds = []float64{0.8, 0.9, 0.95}
+
+// fig14LABConfigs returns the UBA baseline plus one NUBA(No-Rep) config
+// per swept LAB threshold, in sweep order.
+func (r *Runner) fig14LABConfigs() (base nuba.Config, variants []nuba.Config) {
+	base = r.scaled(nuba.Baseline())
+	for _, th := range fig14LABThresholds {
 		cfg := r.scaled(nuba.NUBAConfig())
 		cfg.Replication = nuba.NoRep
 		cfg.LABThreshold = th
+		variants = append(variants, cfg)
+	}
+	return base, variants
+}
+
+func (r *Runner) fig14LAB() (string, error) {
+	base, variants := r.fig14LABConfigs()
+	t := &metrics.Table{Header: []string{"LAB threshold", "vs UBA (low)", "(high)", "(all)"}}
+	for i, th := range fig14LABThresholds {
+		cfg := variants[i]
 		var low, high []float64
 		for _, b := range r.opts.Benchmarks {
 			ub, err := r.run(base, b)
@@ -444,13 +494,19 @@ func (r *Runner) fig14LAB() (string, error) {
 	return bld.String(), nil
 }
 
+// fig16Configs returns the Figure 16 monolithic/MCM comparison set.
+func (r *Runner) fig16Configs() (monoUBA, monoNUBA, mcmUBA, mcmNUBA nuba.Config) {
+	monoUBA = r.scaled(nuba.Baseline().Scale(2))
+	monoNUBA = r.scaled(nuba.NUBAConfig().Scale(2))
+	mcmUBA = r.scaled(nuba.MCMConfig(nuba.UBAMem))
+	mcmNUBA = r.scaled(nuba.MCMConfig(nuba.NUBA))
+	return monoUBA, monoNUBA, mcmUBA, mcmNUBA
+}
+
 // fig16 compares UBA and NUBA in the four-module MCM configuration
 // against the monolithic 2x GPU.
 func (r *Runner) fig16() (string, error) {
-	monoUBA := r.scaled(nuba.Baseline().Scale(2))
-	monoNUBA := r.scaled(nuba.NUBAConfig().Scale(2))
-	mcmUBA := r.scaled(nuba.MCMConfig(nuba.UBAMem))
-	mcmNUBA := r.scaled(nuba.MCMConfig(nuba.NUBA))
+	monoUBA, monoNUBA, mcmUBA, mcmNUBA := r.fig16Configs()
 	var monoLow, monoHigh, mcmLow, mcmHigh []float64
 	for _, b := range r.opts.Benchmarks {
 		mu, err := r.run(monoUBA, b)
@@ -486,14 +542,20 @@ func (r *Runner) fig16() (string, error) {
 	return bld.String(), nil
 }
 
+// altConfigs returns the §7.6 placement-alternative comparison set.
+func (r *Runner) altConfigs() (base, lab, mig, rep nuba.Config) {
+	base = r.scaled(nuba.Baseline())
+	lab = r.scaled(nuba.NUBAConfig())
+	mig = r.scaled(nuba.NUBAConfig())
+	mig.Placement = nuba.Migration
+	rep = r.scaled(nuba.NUBAConfig())
+	rep.Placement = nuba.PageReplication
+	return base, lab, mig, rep
+}
+
 // altPlacement compares LAB against the §7.6 alternatives.
 func (r *Runner) altPlacement() (string, error) {
-	lab := r.scaled(nuba.NUBAConfig())
-	mig := r.scaled(nuba.NUBAConfig())
-	mig.Placement = nuba.Migration
-	rep := r.scaled(nuba.NUBAConfig())
-	rep.Placement = nuba.PageReplication
-	base := r.scaled(nuba.Baseline())
+	base, lab, mig, rep := r.altConfigs()
 	t := &metrics.Table{Header: []string{"Bench", "Class", "LAB", "Migration", "PageRep", "Migrations", "PageReplicas"}}
 	for _, b := range r.opts.Benchmarks {
 		ub, err := r.run(base, b)

@@ -3,13 +3,24 @@
 // recipe that runs the required {architecture, policy, benchmark}
 // combinations and prints rows in the shape the paper reports. See
 // DESIGN.md for the experiment index.
+//
+// Experiments execute through a concurrent engine (see engine.go): each
+// experiment declares the deduplicated set of (Config, Benchmark) jobs it
+// needs, the engine simulates them across a worker pool into a
+// concurrency-safe memo cache, and the report is then rendered serially
+// from the warm cache — so the output is byte-identical regardless of the
+// worker count, and figures sharing runs (fig7/8/9/13 all reuse the
+// iso-resource runs) never recompute.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"github.com/nuba-gpu/nuba"
 	"github.com/nuba-gpu/nuba/internal/metrics"
@@ -23,15 +34,37 @@ type Options struct {
 	// Scale scales the GPU size (1.0 = the 64-SM baseline). Experiments
 	// that sweep GPU size ignore it.
 	Scale float64
+	// Jobs is the worker-pool size used to execute an experiment's job
+	// set; zero or negative selects runtime.GOMAXPROCS(0). Jobs = 1
+	// reproduces the historical strictly-serial execution.
+	Jobs int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
+	// OnEvent, when non-nil, receives a structured Event per completed
+	// run (run counts, elapsed time, ETA). Calls are serialized.
+	OnEvent func(Event)
 }
 
 // Runner executes experiments, memoizing runs shared between figures
-// (fig7/fig8/fig9/fig13 all reuse the iso-resource runs).
+// (fig7/fig8/fig9/fig13 all reuse the iso-resource runs). All methods are
+// safe for concurrent use; the memo cache is singleflight, so a run
+// requested by several workers simulates exactly once.
 type Runner struct {
-	opts  Options
-	cache map[string]*nuba.Result
+	opts Options
+
+	mu      sync.Mutex
+	cache   map[string]*cacheEntry
+	planned int       // jobs scheduled across Execute/Prefetch calls
+	done    int       // simulations completed
+	started time.Time // first simulation start, for elapsed/ETA
+}
+
+// cacheEntry is one singleflight slot: the first requester simulates and
+// closes ready; everyone else blocks on ready and reads res/err.
+type cacheEntry struct {
+	ready chan struct{}
+	res   *nuba.Result
+	err   error
 }
 
 // NewRunner returns a Runner.
@@ -42,36 +75,42 @@ func NewRunner(opts Options) *Runner {
 	if len(opts.Benchmarks) == 0 {
 		opts.Benchmarks = workload.Suite()
 	}
-	return &Runner{opts: opts, cache: make(map[string]*nuba.Result)}
+	return &Runner{opts: opts, cache: make(map[string]*cacheEntry)}
 }
 
 // Experiment is a named, runnable reproduction of one paper artifact.
 type Experiment struct {
 	Name  string
 	Title string
-	Run   func(r *Runner) (string, error)
+	// Run renders the experiment's report. Runs it needs that are not
+	// already cached are simulated inline (serially).
+	Run func(r *Runner) (string, error)
+	// Plan enumerates the simulations Run will consume, so the engine
+	// can execute them across the worker pool first. Nil for
+	// experiments that need no simulation (table2).
+	Plan func(r *Runner) []Job
 }
 
 // All returns every experiment in presentation order.
 func All() []Experiment {
 	return []Experiment{
-		{"table2", "Table 2: benchmark suite and footprints", (*Runner).table2},
-		{"fig3", "Figure 3: memory page sharing degree", (*Runner).fig3},
-		{"fig7", "Figure 7: iso-resource speedup over UBA", (*Runner).fig7},
-		{"fig8", "Figure 8: perceived bandwidth (replies/cycle)", (*Runner).fig8},
-		{"fig9", "Figure 9: L1 miss breakdown (local/remote)", (*Runner).fig9},
-		{"fig10", "Figure 10: performance vs NoC power", (*Runner).fig10},
-		{"fig11", "Figure 11: page allocation policies", (*Runner).fig11},
-		{"fig12", "Figure 12: data replication policies", (*Runner).fig12},
-		{"fig13", "Figure 13: GPU energy breakdown", (*Runner).fig13},
-		{"fig14-size", "Figure 14: GPU size sensitivity", (*Runner).fig14Size},
-		{"fig14-partition", "Figure 14: LLC slices per partition", (*Runner).fig14Partition},
-		{"fig14-llc", "Figure 14: LLC capacity sensitivity", (*Runner).fig14LLC},
-		{"fig14-page", "Figure 14: page size sensitivity", (*Runner).fig14Page},
-		{"fig14-addrmap", "Figure 14: PAE address mapping", (*Runner).fig14AddrMap},
-		{"fig14-lab", "Figure 14: LAB threshold sensitivity", (*Runner).fig14LAB},
-		{"fig16", "Figure 16: MCM-GPU", (*Runner).fig16},
-		{"alt-placement", "Section 7.6: migration / page replication", (*Runner).altPlacement},
+		{Name: "table2", Title: "Table 2: benchmark suite and footprints", Run: (*Runner).table2},
+		{Name: "fig3", Title: "Figure 3: memory page sharing degree", Run: (*Runner).fig3, Plan: (*Runner).fig3Plan},
+		{Name: "fig7", Title: "Figure 7: iso-resource speedup over UBA", Run: (*Runner).fig7, Plan: (*Runner).isoPlan},
+		{Name: "fig8", Title: "Figure 8: perceived bandwidth (replies/cycle)", Run: (*Runner).fig8, Plan: (*Runner).isoPlan},
+		{Name: "fig9", Title: "Figure 9: L1 miss breakdown (local/remote)", Run: (*Runner).fig9, Plan: (*Runner).isoPlan},
+		{Name: "fig10", Title: "Figure 10: performance vs NoC power", Run: (*Runner).fig10, Plan: (*Runner).fig10Plan},
+		{Name: "fig11", Title: "Figure 11: page allocation policies", Run: (*Runner).fig11, Plan: (*Runner).fig11Plan},
+		{Name: "fig12", Title: "Figure 12: data replication policies", Run: (*Runner).fig12, Plan: (*Runner).fig12Plan},
+		{Name: "fig13", Title: "Figure 13: GPU energy breakdown", Run: (*Runner).fig13, Plan: (*Runner).isoPlan},
+		{Name: "fig14-size", Title: "Figure 14: GPU size sensitivity", Run: (*Runner).fig14Size, Plan: (*Runner).fig14SizePlan},
+		{Name: "fig14-partition", Title: "Figure 14: LLC slices per partition", Run: (*Runner).fig14Partition, Plan: (*Runner).fig14PartitionPlan},
+		{Name: "fig14-llc", Title: "Figure 14: LLC capacity sensitivity", Run: (*Runner).fig14LLC, Plan: (*Runner).fig14LLCPlan},
+		{Name: "fig14-page", Title: "Figure 14: page size sensitivity", Run: (*Runner).fig14Page, Plan: (*Runner).fig14PagePlan},
+		{Name: "fig14-addrmap", Title: "Figure 14: PAE address mapping", Run: (*Runner).fig14AddrMap, Plan: (*Runner).fig14AddrMapPlan},
+		{Name: "fig14-lab", Title: "Figure 14: LAB threshold sensitivity", Run: (*Runner).fig14LAB, Plan: (*Runner).fig14LABPlan},
+		{Name: "fig16", Title: "Figure 16: MCM-GPU", Run: (*Runner).fig16, Plan: (*Runner).fig16Plan},
+		{Name: "alt-placement", Title: "Section 7.6: migration / page replication", Run: (*Runner).altPlacement, Plan: (*Runner).altPlacementPlan},
 	}
 }
 
@@ -96,24 +135,51 @@ func Names() []string {
 }
 
 // run executes (or returns the memoized) result of one configuration and
-// benchmark.
+// benchmark. It is the serial entry point the figure renderers use; the
+// engine's workers go through runCtx.
 func (r *Runner) run(cfg nuba.Config, b workload.Benchmark) (*nuba.Result, error) {
-	key := cfg.Name() + "|" + fmt.Sprintf("s%.2f|p%d|%v|t%.2f|m%v|%d|%d|%d",
-		r.opts.Scale, cfg.PageSize, cfg.AddressMap, cfg.LABThreshold, cfg.NumModules,
-		cfg.NumSMs, cfg.NumLLCSlices, cfg.LLCSliceBytes) + "|" + b.Abbr
-	if res, ok := r.cache[key]; ok {
-		return res, nil
+	return r.runCtx(context.Background(), cfg, b)
+}
+
+// runCtx is run under a context, with singleflight memoization: the first
+// caller of a (config, benchmark) pair simulates it, concurrent callers
+// block until it completes, later callers hit the cache. A failed or
+// canceled run is evicted so a retry can re-simulate.
+func (r *Runner) runCtx(ctx context.Context, cfg nuba.Config, b workload.Benchmark) (*nuba.Result, error) {
+	key := jobKey(&cfg, b.Abbr)
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.res, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
-	res, err := nuba.Run(cfg, b)
+	e := &cacheEntry{ready: make(chan struct{})}
+	r.cache[key] = e
+	if r.started.IsZero() {
+		r.started = time.Now()
+	}
+	r.mu.Unlock()
+
+	res, err := nuba.RunContext(ctx, cfg, b)
 	if err != nil {
-		return nil, fmt.Errorf("%s on %s: %w", b.Abbr, cfg.Name(), err)
+		err = fmt.Errorf("%s on %s: %w", b.Abbr, cfg.Name(), err)
 	}
-	if r.opts.Progress != nil {
-		fmt.Fprintf(r.opts.Progress, "  ran %-7s on %-28s cycles=%-9d ipc=%.2f local=%.2f\n",
-			b.Abbr, cfg.Name(), res.Stats.Cycles, res.Stats.IPC(), res.Stats.LocalFraction())
+	e.res, e.err = res, err
+
+	r.mu.Lock()
+	if err != nil {
+		delete(r.cache, key)
+	} else {
+		r.done++
+		r.emitLocked(cfg.Name(), b.Abbr, res)
 	}
-	r.cache[key] = res
-	return res, nil
+	r.mu.Unlock()
+	close(e.ready)
+	return res, err
 }
 
 // scaled applies the Runner's GPU scale to a configuration.

@@ -25,6 +25,12 @@
 package nuba
 
 import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
 	"github.com/nuba-gpu/nuba/internal/config"
 	"github.com/nuba-gpu/nuba/internal/core"
 	"github.com/nuba-gpu/nuba/internal/energy"
@@ -150,26 +156,34 @@ type Result struct {
 func (r *Result) IPC() float64 { return r.Stats.IPC() }
 
 // Run assembles a GPU for cfg, executes the benchmark's kernels to
-// completion and returns the measured result.
+// completion and returns the measured result. It is RunContext with a
+// background context.
 func Run(cfg Config, b Benchmark) (*Result, error) {
-	g, err := core.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	launches, err := b.Build(g.NewBuffer)
-	if err != nil {
-		return nil, err
-	}
-	if err := g.RunProgram(launches); err != nil {
-		return nil, err
-	}
-	bd := g.EnergyBreakdown(energy.DefaultParams())
-	return &Result{Stats: g.Stats(), Energy: bd, Sharing: g.Sharing(), System: g}, nil
+	return RunContext(context.Background(), cfg, b)
+}
+
+// RunContext is Run under a context: a long simulation stops promptly
+// once ctx is canceled and returns an error wrapping ctx.Err().
+func RunContext(ctx context.Context, cfg Config, b Benchmark) (*Result, error) {
+	return execute(ctx, cfg, func(g *System) ([]*Launch, error) { return b.Build(g.NewBuffer) })
 }
 
 // RunLaunches runs caller-constructed launches on a fresh system (the
-// low-level entry point for custom kernels).
+// low-level entry point for custom kernels). It is RunLaunchesContext
+// with a background context.
 func RunLaunches(cfg Config, build func(sys *System) ([]*Launch, error)) (*Result, error) {
+	return RunLaunchesContext(context.Background(), cfg, build)
+}
+
+// RunLaunchesContext is RunLaunches under a context.
+func RunLaunchesContext(ctx context.Context, cfg Config, build func(sys *System) ([]*Launch, error)) (*Result, error) {
+	return execute(ctx, cfg, build)
+}
+
+// execute is the single execution path behind every Run* entry point:
+// assemble a system, build the launches into its address space, run them
+// under the context and bundle the measurements.
+func execute(ctx context.Context, cfg Config, build func(sys *System) ([]*Launch, error)) (*Result, error) {
 	g, err := core.New(cfg)
 	if err != nil {
 		return nil, err
@@ -178,11 +192,121 @@ func RunLaunches(cfg Config, build func(sys *System) ([]*Launch, error)) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	if err := g.RunProgram(launches); err != nil {
+	if err := g.RunProgramContext(ctx, launches); err != nil {
 		return nil, err
 	}
 	bd := g.EnergyBreakdown(energy.DefaultParams())
 	return &Result{Stats: g.Stats(), Energy: bd, Sharing: g.Sharing(), System: g}, nil
+}
+
+// RunEvent describes one completed run within a RunSuite batch, for
+// progress reporting.
+type RunEvent struct {
+	// Benchmark is the completed benchmark's abbreviation; Config the
+	// configuration's Name().
+	Benchmark string
+	Config    string
+	// Index is the benchmark's position in the input slice; Done the
+	// number of runs completed so far; Total the batch size.
+	Index, Done, Total int
+	// Result is the completed run's measurement.
+	Result *Result
+	// Elapsed is the wall-clock time since the batch started.
+	Elapsed time.Duration
+}
+
+// RunOptions configure a RunSuite batch.
+type RunOptions struct {
+	// Jobs is the number of simulations run concurrently. Zero or
+	// negative selects runtime.GOMAXPROCS(0).
+	Jobs int
+	// Progress, when non-nil, is called once per completed run. Calls
+	// are serialized (never concurrent) but arrive in completion order,
+	// which under Jobs > 1 need not be input order.
+	Progress func(RunEvent)
+}
+
+// Workers returns the effective worker-pool size.
+func (o RunOptions) Workers() int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunSuite runs every benchmark on cfg across a worker pool and returns
+// the results in benchmark order (independent of completion order). Each
+// run uses its own freshly assembled System, and the simulator holds no
+// mutable global state, so results are identical to running the
+// benchmarks serially. The first error cancels the remaining runs and is
+// returned; a canceled ctx surfaces as an error wrapping ctx.Err().
+func RunSuite(ctx context.Context, cfg Config, benchmarks []Benchmark, opts RunOptions) ([]*Result, error) {
+	results := make([]*Result, len(benchmarks))
+	if len(benchmarks) == 0 {
+		return results, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	start := time.Now()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	idx := make(chan int)
+	workers := opts.Workers()
+	if workers > len(benchmarks) {
+		workers = len(benchmarks)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := RunContext(ctx, cfg, benchmarks[i])
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s on %s: %w", benchmarks[i].Abbr, cfg.Name(), err)
+						cancel()
+					}
+					mu.Unlock()
+					continue
+				}
+				results[i] = res
+				done++
+				if opts.Progress != nil {
+					opts.Progress(RunEvent{
+						Benchmark: benchmarks[i].Abbr,
+						Config:    cfg.Name(),
+						Index:     i, Done: done, Total: len(benchmarks),
+						Result:  res,
+						Elapsed: time.Since(start),
+					})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for i := range benchmarks {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // Speedup returns a.IPC()/b.IPC() — but since runs execute identical work,
