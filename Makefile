@@ -2,13 +2,20 @@
 
 GO ?= go
 
-.PHONY: build vet test test-short race check clean
+.PHONY: build vet lint fmt-check test test-short race check clean
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Determinism and layering invariants (see lint.policy and DESIGN.md).
+lint:
+	$(GO) run ./cmd/nubalint ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -19,7 +26,7 @@ test-short:
 race:
 	$(GO) test -race -timeout 30m ./internal/experiments/...
 
-check: vet build test race
+check: vet build lint fmt-check test race
 
 clean:
 	$(GO) clean ./...

@@ -20,8 +20,8 @@ import (
 	"strings"
 	"time"
 
+	"github.com/nuba-gpu/nuba"
 	"github.com/nuba-gpu/nuba/internal/experiments"
-	"github.com/nuba-gpu/nuba/internal/workload"
 )
 
 func main() {
@@ -46,7 +46,7 @@ func main() {
 	}
 	if *benchList != "" {
 		for _, abbr := range strings.Split(*benchList, ",") {
-			b, err := workload.ByAbbr(strings.TrimSpace(abbr))
+			b, err := nuba.BenchmarkByAbbr(strings.TrimSpace(abbr))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "nubareport:", err)
 				os.Exit(2)

@@ -22,7 +22,6 @@ import (
 	"strings"
 
 	"github.com/nuba-gpu/nuba"
-	"github.com/nuba-gpu/nuba/internal/energy"
 )
 
 func main() {
@@ -142,7 +141,7 @@ func runOne(ctx context.Context, cfg nuba.Config, b nuba.Benchmark) error {
 	fmt.Printf("energy (mJ):       NoC %.3f | DRAM %.3f | core %.3f | LLC %.3f | static %.3f\n",
 		res.Energy.NoCNJ/1e6, res.Energy.DRAMNJ/1e6, res.Energy.CoreNJ/1e6,
 		res.Energy.LLCNJ/1e6, res.Energy.StaticNJ/1e6)
-	fmt.Printf("NoC power:         %.2f W\n", energy.NoCPowerW(res.Energy, st.Cycles, cfg.CoreClockGHz))
+	fmt.Printf("NoC power:         %.2f W\n", nuba.NoCPowerW(res.Energy, st.Cycles, cfg.CoreClockGHz))
 	if st.MDRDecisions > 0 {
 		fmt.Printf("MDR epochs:        %d (%d replicating)\n", st.MDRDecisions, st.MDREpochsReplicating)
 	}

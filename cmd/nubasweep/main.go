@@ -18,8 +18,8 @@ import (
 	"runtime"
 	"strings"
 
+	"github.com/nuba-gpu/nuba"
 	"github.com/nuba-gpu/nuba/internal/experiments"
-	"github.com/nuba-gpu/nuba/internal/workload"
 )
 
 // progressPrinter returns an event sink that prints one line per
@@ -51,7 +51,7 @@ func main() {
 			fmt.Printf("  %-16s %s\n", e.Name, e.Title)
 		}
 		fmt.Println("benchmarks:")
-		for _, b := range workload.Suite() {
+		for _, b := range nuba.Suite() {
 			cls := "low"
 			if b.High {
 				cls = "high"
@@ -70,7 +70,7 @@ func main() {
 	}
 	if *benchList != "" {
 		for _, abbr := range strings.Split(*benchList, ",") {
-			b, err := workload.ByAbbr(strings.TrimSpace(abbr))
+			b, err := nuba.BenchmarkByAbbr(strings.TrimSpace(abbr))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "nubasweep:", err)
 				os.Exit(2)

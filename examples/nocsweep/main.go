@@ -12,7 +12,6 @@ import (
 	"math"
 
 	"github.com/nuba-gpu/nuba"
-	"github.com/nuba-gpu/nuba/internal/energy"
 )
 
 func main() {
@@ -48,7 +47,7 @@ func main() {
 					log.Fatal(err)
 				}
 				prod *= float64(base[abbr]) / float64(res.Stats.Cycles)
-				power += energy.NoCPowerW(res.Energy, res.Stats.Cycles, cfg.CoreClockGHz)
+				power += nuba.NoCPowerW(res.Energy, res.Stats.Cycles, cfg.CoreClockGHz)
 			}
 			speedup := math.Pow(prod, 1.0/float64(len(benches)))
 			fmt.Printf("%-8s  %-8.0f   %-27.2f   %.2f\n", arch, gbs, speedup, power/float64(len(benches)))

@@ -1,6 +1,8 @@
 package driver
 
 import (
+	"slices"
+
 	"github.com/nuba-gpu/nuba/internal/config"
 	"github.com/nuba-gpu/nuba/internal/sim"
 )
@@ -70,8 +72,16 @@ func (d *Driver) MigrationCandidates(now sim.Cycle) []Action {
 	if d.cfg.Placement != config.Migration {
 		return nil
 	}
+	// Visit pages in VPN order: the action list feeds simulated work, so
+	// map iteration order here would leak into cycle counts.
+	vpns := make([]uint64, 0, len(d.pages))
+	for vpn := range d.pages {
+		vpns = append(vpns, vpn)
+	}
+	slices.Sort(vpns)
 	var actions []Action
-	for _, p := range d.pages {
+	for _, vpn := range vpns {
+		p := d.pages[vpn]
 		if p.accesses == nil {
 			continue
 		}
@@ -118,9 +128,16 @@ func (d *Driver) CollapseReplicas(p *Page) []uint64 {
 	if p.Replicas == nil {
 		return nil
 	}
-	dropped := make([]uint64, 0, len(p.Replicas))
-	for _, ppn := range p.Replicas {
-		dropped = append(dropped, ppn)
+	// Drop replicas in partition order so the caller's line
+	// invalidations replay identically across runs.
+	parts := make([]int, 0, len(p.Replicas))
+	for part := range p.Replicas {
+		parts = append(parts, part)
+	}
+	slices.Sort(parts)
+	dropped := make([]uint64, 0, len(parts))
+	for _, part := range parts {
+		dropped = append(dropped, p.Replicas[part])
 	}
 	p.Replicas = nil
 	d.Collapses++

@@ -61,7 +61,8 @@ func (r *Runner) fig3() (string, error) {
 func (r *Runner) isoRuns() (map[string]map[string]*nuba.Result, error) {
 	cfgs := r.isoConfigs()
 	out := make(map[string]map[string]*nuba.Result)
-	for name, cfg := range cfgs {
+	for _, name := range sortedKeys(cfgs) {
+		cfg := cfgs[name]
 		out[name] = make(map[string]*nuba.Result)
 		for _, b := range r.opts.Benchmarks {
 			res, err := r.run(cfg, b)

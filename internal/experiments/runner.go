@@ -159,9 +159,7 @@ func (r *Runner) runCtx(ctx context.Context, cfg nuba.Config, b workload.Benchma
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
 	r.cache[key] = e
-	if r.started.IsZero() {
-		r.started = time.Now()
-	}
+	r.markStarted()
 	r.mu.Unlock()
 
 	res, err := nuba.RunContext(ctx, cfg, b)

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces an in-source suppression comment:
+//
+//	//nubalint:ignore <rule> <reason>
+//
+// The directive suppresses diagnostics of <rule> reported on its own
+// line or on the line directly below it (so it can trail the flagged
+// statement or sit on its own line above it). The reason is mandatory:
+// an ignore that cannot say why it is safe should not exist.
+const directivePrefix = "//nubalint:ignore"
+
+// directive is one parsed suppression comment.
+type directive struct {
+	rule   string
+	reason string
+	pos    token.Pos
+}
+
+// directiveIndex maps file line numbers to the suppression in force
+// there, for one file.
+type directiveIndex struct {
+	byLine map[int]*directive
+}
+
+// collectDirectives scans a file's comments for nubalint directives.
+// Malformed directives (missing rule, unknown rule, or missing reason)
+// are reported through emit under the "directive" pseudo-rule so they
+// fail the build instead of silently suppressing nothing.
+func collectDirectives(fset *token.FileSet, f *ast.File, emit func(pos token.Pos, rule, msg string)) *directiveIndex {
+	idx := &directiveIndex{byLine: make(map[int]*directive)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				emit(c.Pos(), RuleDirective, "malformed directive: want //nubalint:ignore <rule> <reason>")
+				continue
+			case !knownRule(fields[0]):
+				emit(c.Pos(), RuleDirective, "directive names unknown rule "+fields[0])
+				continue
+			case len(fields) == 1:
+				emit(c.Pos(), RuleDirective, "directive for "+fields[0]+" is missing a reason")
+				continue
+			}
+			d := &directive{rule: fields[0], reason: strings.Join(fields[1:], " "), pos: c.Pos()}
+			idx.byLine[fset.Position(c.Pos()).Line] = d
+		}
+	}
+	return idx
+}
+
+// suppresses reports whether a diagnostic of rule at line is covered by
+// a directive on the same line or the line above.
+func (idx *directiveIndex) suppresses(rule string, line int) bool {
+	for _, l := range [2]int{line, line - 1} {
+		if d, ok := idx.byLine[l]; ok && d.rule == rule {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding, in vet style: file:line:col: rule: message.
+// File is module-relative so output is stable across checkouts.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Run analyzes the program's packages under the policy with the given
+// rules (nil or empty = all) and returns the findings sorted by file,
+// line and column. Malformed //nubalint:ignore directives are always
+// reported, whatever the rule selection.
+func Run(prog *Program, pol *Policy, rules []string) ([]Diagnostic, error) {
+	if len(rules) == 0 {
+		rules = AllRules()
+	}
+	for _, r := range rules {
+		if !knownRule(r) {
+			return nil, fmt.Errorf("lint: unknown rule %q (have %v)", r, AllRules())
+		}
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		// Index the package's suppression directives first; a malformed
+		// directive is itself a finding.
+		indexes := make(map[string]*directiveIndex) // by module-relative file
+		rawEmit := func(pos token.Pos, rule, msg string) {
+			posn := prog.Fset.Position(pos)
+			diags = append(diags, Diagnostic{
+				File: prog.RelFile(pos), Line: posn.Line, Col: posn.Column,
+				Rule: rule, Message: msg,
+			})
+		}
+		for _, f := range pkg.Files {
+			indexes[prog.RelFile(f.Pos())] = collectDirectives(prog.Fset, f, rawEmit)
+		}
+
+		c := &pkgCtx{
+			prog: prog,
+			pol:  pol,
+			pkg:  pkg,
+			emitPos: func(pos token.Pos, rule, msg string) {
+				rel := prog.RelFile(pos)
+				line := prog.Fset.Position(pos).Line
+				if idx, ok := indexes[rel]; ok && idx.suppresses(rule, line) {
+					return
+				}
+				rawEmit(pos, rule, msg)
+			},
+		}
+		for _, r := range rules {
+			ruleFuncs[r](c)
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return diags, nil
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads the testdata/src module (a self-contained fixture
+// module with its own go.mod and lint.policy).
+func loadFixture(t *testing.T) (*Program, *Policy) {
+	t.Helper()
+	mod, err := FindModule("testdata/src")
+	if err != nil {
+		t.Fatalf("FindModule: %v", err)
+	}
+	if mod.Path != "example.com/fixture" {
+		t.Fatalf("fixture module path = %q", mod.Path)
+	}
+	prog, err := Load(mod, nil)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	pol, err := ParsePolicy(filepath.Join(mod.Dir, "lint.policy"))
+	if err != nil {
+		t.Fatalf("ParsePolicy: %v", err)
+	}
+	return prog, pol
+}
+
+// TestFixtureGolden locks the analyzer's full output on the fixture
+// module against testdata/golden.txt: every rule's positive hit, every
+// suppression, and the exact diagnostic text.
+func TestFixtureGolden(t *testing.T) {
+	prog, pol := loadFixture(t)
+	diags, err := Run(prog, pol, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	got := b.String()
+
+	goldenPath := filepath.Join("testdata", "golden.txt")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate by writing the output below)\n%s", err, got)
+	}
+	if got != string(want) {
+		t.Errorf("fixture diagnostics diverge from %s.\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+// TestEveryRuleFires asserts the fixture exercises all five rules (plus
+// the directive pseudo-rule), so a rule that silently stops matching
+// cannot hide behind a stale golden file.
+func TestEveryRuleFires(t *testing.T) {
+	prog, pol := loadFixture(t)
+	diags, err := Run(prog, pol, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		seen[d.Rule] = true
+	}
+	for _, rule := range append(AllRules(), RuleDirective) {
+		if !seen[rule] {
+			t.Errorf("fixture produced no %s finding", rule)
+		}
+	}
+}
+
+// TestSuppressionsHold asserts the directive-suppressed and allowlisted
+// sites stay clean: the suppressed map range in SumIgnored, the
+// same-line time.Since in StampIgnored, the sorted-keys idiom in Keys,
+// and the allowlisted clockok/clock.go.
+func TestSuppressionsHold(t *testing.T) {
+	prog, pol := loadFixture(t)
+	diags, err := Run(prog, pol, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		if d.File == "clockok/clock.go" {
+			t.Errorf("allowlisted file flagged: %s", d)
+		}
+	}
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "simcore", "simcore.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanLines := make(map[int]bool)
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "//nubalint:ignore") || strings.Contains(line, "sort.Strings(ks)") {
+			// The directive line, the line after it, and the sorted
+			// collection loop above the sort call must all be clean.
+			cleanLines[i+1] = true
+			cleanLines[i+2] = true
+			cleanLines[i-1] = true
+		}
+	}
+	for _, d := range diags {
+		if d.File == "simcore/simcore.go" && cleanLines[d.Line] {
+			t.Errorf("suppressed or idiomatic site flagged: %s", d)
+		}
+	}
+}
+
+// TestRuleSelection asserts -rules narrows the run to the chosen rule
+// (malformed directives are still always reported).
+func TestRuleSelection(t *testing.T) {
+	prog, pol := loadFixture(t)
+	diags, err := Run(prog, pol, []string{RuleGoroutine})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var goroutines int
+	for _, d := range diags {
+		switch d.Rule {
+		case RuleGoroutine:
+			goroutines++
+		case RuleDirective:
+		default:
+			t.Errorf("unselected rule reported: %s", d)
+		}
+	}
+	if goroutines != 1 {
+		t.Errorf("goroutine-in-core findings = %d, want 1", goroutines)
+	}
+
+	if _, err := Run(prog, pol, []string{"bogus-rule"}); err == nil {
+		t.Error("Run accepted an unknown rule")
+	}
+}
+
+// TestDiagnosticJSON asserts the -json shape stays stable.
+func TestDiagnosticJSON(t *testing.T) {
+	d := Diagnostic{File: "a/b.go", Line: 3, Col: 7, Rule: RuleMapRange, Message: "m"}
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"file":"a/b.go","line":3,"col":7,"rule":"nondet-map-range","message":"m"}`
+	if string(data) != want {
+		t.Errorf("json = %s, want %s", data, want)
+	}
+}
+
+// TestPolicyParseErrors asserts the policy parser rejects malformed and
+// unknown input instead of silently ignoring it.
+func TestPolicyParseErrors(t *testing.T) {
+	bad := []string{
+		"layer internal/core internal/sim",  // missing '='
+		"scope made-up-rule = internal/sim", // unknown rule
+		"allow made-up-rule = x.go",         // unknown rule
+		"frobnicate a = b",                  // unknown directive
+		"layer a = b\nlayer a = c",          // duplicate layer
+	}
+	for _, src := range bad {
+		if _, err := ParsePolicyData(src, "test.policy"); err == nil {
+			t.Errorf("ParsePolicyData(%q) succeeded, want error", src)
+		}
+	}
+	good := "# comment\n\nlayer a = b c\nscope no-wallclock = *\nallow no-wallclock = a/clock.go\n"
+	pol, err := ParsePolicyData(good, "test.policy")
+	if err != nil {
+		t.Fatalf("ParsePolicyData(good): %v", err)
+	}
+	if !pol.InScope(RuleWallclock, "anything") {
+		t.Error("scope '*' did not match")
+	}
+	if !pol.Allowed(RuleWallclock, "a/clock.go", "a") {
+		t.Error("allow entry did not match")
+	}
+	if allowed, declared := pol.LayerFor("a"); !declared || !allowed["b"] || !allowed["c"] || allowed["d"] {
+		t.Errorf("LayerFor(a) = %v, %v", allowed, declared)
+	}
+}

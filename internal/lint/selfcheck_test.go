@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoLintsClean runs the real analyzer, with the real committed
+// lint.policy, over the real module — the same invocation as
+// `go run ./cmd/nubalint ./...`. The repo must stay finding-free: a
+// new unsorted map range on the report path, a stray time.Now in a
+// model package, or an import edge outside the DAG fails this test
+// (and with it `make check` and CI).
+func TestRepoLintsClean(t *testing.T) {
+	mod, err := FindModule("../..")
+	if err != nil {
+		t.Fatalf("FindModule: %v", err)
+	}
+	pol, err := ParsePolicy(filepath.Join(mod.Dir, "lint.policy"))
+	if err != nil {
+		t.Fatalf("ParsePolicy: %v", err)
+	}
+	prog, err := Load(mod, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(prog.Pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the loader is missing part of the module", len(prog.Pkgs))
+	}
+	diags, err := Run(prog, pol, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo is not lint-clean: %s", d)
+	}
+}

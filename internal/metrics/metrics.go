@@ -189,6 +189,7 @@ func (h *SharingHistogram) Buckets() (one, twoTo10, elevenTo25, over25 float64) 
 		return 0, 0, 0, 0
 	}
 	var c1, c2, c3, c4 int
+	//nubalint:ignore nondet-map-range order-independent aggregation (bucket counts commute)
 	for _, set := range h.pageSMs {
 		switch k := len(set); {
 		case k <= 1:
@@ -217,6 +218,7 @@ func (h *SharingHistogram) SharedFraction() float64 {
 // MaxSharers returns the largest sharer count observed.
 func (h *SharingHistogram) MaxSharers() int {
 	m := 0
+	//nubalint:ignore nondet-map-range order-independent aggregation (max commutes)
 	for _, set := range h.pageSMs {
 		if len(set) > m {
 			m = len(set)

@@ -309,6 +309,14 @@ feed:
 	return results, nil
 }
 
+// NoCPowerW converts a run's NoC energy into average NoC power in
+// watts, given the run's cycle count and the core clock in GHz. It is
+// the public face of the internal energy model's power conversion, so
+// CLIs and examples need not import sim internals.
+func NoCPowerW(bd EnergyBreakdown, cycles int64, coreClockGHz float64) float64 {
+	return energy.NoCPowerW(bd, cycles, coreClockGHz)
+}
+
 // Speedup returns a.IPC()/b.IPC() — but since runs execute identical work,
 // it uses the inverse cycle ratio, the paper's speedup definition.
 func Speedup(candidate, baseline *Result) float64 {
