@@ -24,7 +24,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race -timeout 30m ./internal/experiments/...
+	$(GO) test -race -timeout 30m ./internal/experiments/... ./internal/lint/...
 
 check: vet build lint fmt-check test race
 

@@ -1,7 +1,8 @@
-// Command nubalint enforces the simulator's determinism and layering
-// invariants with a pure-stdlib static analysis (see internal/lint).
-// It exits 0 when the tree is clean, 1 on findings, 2 on usage or load
-// errors — vet-style, so `make lint` and CI can gate on it.
+// Command nubalint enforces the simulator's determinism, layering,
+// liveness and dimensional invariants with a pure-stdlib static
+// analysis (see internal/lint). It exits 0 when the tree is clean, 1 on
+// findings, 2 on usage or load errors — vet-style, so `make lint` and
+// CI can gate on it.
 //
 // Usage:
 //
@@ -9,9 +10,17 @@
 //
 // Packages default to ./... resolved against the enclosing module.
 // Rules: nondet-map-range, no-wallclock, import-layering,
-// ctx-propagation, goroutine-in-core (default: all). Findings are
-// suppressed in place with `//nubalint:ignore <rule> <reason>`; package
-// scopes, file allowlists and the import DAG live in lint.policy.
+// ctx-propagation, goroutine-in-core run per package;
+// config-liveness, metrics-liveness analyze the module-wide use graph;
+// unit-consistency checks //nubaunit: dimensional annotations
+// (default: all). Findings are suppressed in place with
+// `//nubalint:ignore <rule> <reason>`; package scopes, file
+// allowlists, the import DAG and the liveness structs/readers/writers
+// sets live in lint.policy.
+//
+// -json emits a deterministic, schema-stable array sorted by
+// (file, line, col, rule); each finding carries a severity field
+// (currently always "error": every rule gates CI).
 package main
 
 import (

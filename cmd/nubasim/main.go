@@ -145,6 +145,8 @@ func runOne(ctx context.Context, cfg nuba.Config, b nuba.Benchmark) error {
 	if st.MDRDecisions > 0 {
 		fmt.Printf("MDR epochs:        %d (%d replicating)\n", st.MDRDecisions, st.MDREpochsReplicating)
 	}
+	fmt.Println()
+	fmt.Print(nuba.DetailTable(st))
 	return nil
 }
 

@@ -135,23 +135,40 @@ func (r ReplicationPolicy) String() string {
 }
 
 // HBMTiming holds the DRAM timing parameters of Table 1 in memory-clock
-// cycles (350 MHz).
+// cycles (350 MHz). Every field carries the same dimension, so one
+// annotation per field keeps the unit-consistency rule honest about
+// arithmetic that mixes them with core-clock quantities.
 type HBMTiming struct {
-	TRC   int // ACT to ACT, same bank
-	TRCD  int // ACT to CAS
-	TRP   int // PRE to ACT
-	TCL   int // CAS to data
-	TWL   int // write CAS to data
-	TRAS  int // ACT to PRE
+	// nubaunit: memcycles
+	TRC int // ACT to ACT, same bank
+	// nubaunit: memcycles
+	TRCD int // ACT to CAS
+	// nubaunit: memcycles
+	TRP int // PRE to ACT
+	// nubaunit: memcycles
+	TCL int // CAS to data
+	// nubaunit: memcycles
+	TWL int // write CAS to data
+	// nubaunit: memcycles
+	TRAS int // ACT to PRE
+	// nubaunit: memcycles
 	TRRDL int // ACT to ACT, same bank group
+	// nubaunit: memcycles
 	TRRDS int // ACT to ACT, different bank group
-	TFAW  int // four-activate window
-	TRTP  int // READ to PRE
+	// nubaunit: memcycles
+	TFAW int // four-activate window
+	// nubaunit: memcycles
+	TRTP int // READ to PRE
+	// nubaunit: memcycles
 	TCCDL int // CAS to CAS, same bank group
+	// nubaunit: memcycles
 	TCCDS int // CAS to CAS, different bank group
+	// nubaunit: memcycles
 	TWTRL int // write to read, same bank group
+	// nubaunit: memcycles
 	TWTRS int // write to read, different bank group
-	TWR   int // write recovery
+	// nubaunit: memcycles
+	TWR int // write recovery
 }
 
 // DefaultHBMTiming returns the Table 1 HBM timing.
@@ -170,6 +187,7 @@ type Config struct {
 	Seed uint64
 
 	// Core clock in GHz; the memory clock is CoreClockGHz/MemClockDiv.
+	// nubaunit: GHz
 	CoreClockGHz float64
 	MemClockDiv  int
 
@@ -181,38 +199,39 @@ type Config struct {
 	MaxCTAsPerSM    int
 
 	// L1 data cache (per SM): write-through, write-no-allocate.
-	L1Bytes      int
+	L1Bytes      int // nubaunit: bytes
 	L1Ways       int
 	L1MSHRs      int
-	L1Latency    sim.Cycle
+	L1Latency    sim.Cycle // nubaunit: cycles
 	L1TLBEntries int
-	L1TLBLatency sim.Cycle
+	L1TLBLatency sim.Cycle // nubaunit: cycles
 
 	// Shared L2 TLB and page walking.
-	L2TLBEntries     int
-	L2TLBWays        int
-	L2TLBLatency     sim.Cycle
-	L2TLBPorts       int
-	PageWalkers      int
-	PageWalkLatency  sim.Cycle // latency of a page table walk that hits in memory
-	PageFaultLatency sim.Cycle // fixed 20 us first-touch fault penalty
-	PageSize         uint64
+	L2TLBEntries int
+	L2TLBWays    int
+	L2TLBLatency sim.Cycle // nubaunit: cycles
+	L2TLBPorts   int
+	PageWalkers  int
+	// PageWalkLatency is the latency of a page table walk that hits in
+	// memory.
+	// nubaunit: cycles
+	PageWalkLatency sim.Cycle
+	// PageFaultLatency is the fixed 20 us first-touch fault penalty.
+	// nubaunit: cycles
+	PageFaultLatency sim.Cycle
+	PageSize         uint64 // nubaunit: bytes
 
 	// LLC organization: NumLLCSlices slices of LLCSliceBytes each.
 	NumLLCSlices  int
-	LLCSliceBytes int
+	LLCSliceBytes int // nubaunit: bytes
 	LLCWays       int
-	LLCLatency    sim.Cycle
+	LLCLatency    sim.Cycle // nubaunit: cycles
 	LLCMSHRs      int
 	// LLCQueue is the nominal LMR/RMR queue depth. The slice model uses
 	// elastic queues for deadlock freedom (see internal/llc), so this is
 	// retained for documentation and future credit-based modeling.
+	//nubalint:ignore config-liveness documented placeholder until credit-based LLC queues land
 	LLCQueue int
-
-	// Partitioning (NUBA): NumChannels partitions, each with
-	// SMsPerPartition SMs and SlicesPerPartition LLC slices.
-	SMsPerPartition    int
-	SlicesPerPartition int
 
 	// Memory system.
 	NumChannels   int
@@ -221,36 +240,45 @@ type Config struct {
 	Timing        HBMTiming
 	// MemBusBytesPerMemCycle is the per-channel data bus width per
 	// memory-clock cycle: 64 B gives 32 ch × 64 B × 350 MHz ≈ 720 GB/s.
+	// nubaunit: bytes/memcycle
 	MemBusBytesPerMemCycle int
 
 	// NoC: the inter-partition network.
-	NoCBandwidthGBs float64   // aggregate injection bandwidth
-	NoCLatency      sim.Cycle // hierarchical crossbar traversal (two 4-cycle stages)
-	NoCPortBuffer   int
+	// nubaunit: GB/s
+	NoCBandwidthGBs float64 // aggregate injection bandwidth
+	// NoCLatency is the hierarchical crossbar traversal (two 4-cycle
+	// stages).
+	// nubaunit: cycles
+	NoCLatency    sim.Cycle
+	NoCPortBuffer int
 
 	// NUBA point-to-point links between SMs and local LLC slices.
-	LocalLinkBytes   int // bytes per cycle per link (32 B ≈ 2.8 TB/s aggregate)
-	LocalLinkLatency sim.Cycle
+	// LocalLinkBytes is the link width (32 B ≈ 2.8 TB/s aggregate).
+	// nubaunit: bytes/cycle
+	LocalLinkBytes   int
+	LocalLinkLatency sim.Cycle // nubaunit: cycles
 	LocalLinkBuffer  int
 
 	// Policies.
-	AddressMap    AddressMapping
-	Placement     PlacementPolicy
-	LABThreshold  float64
-	Replication   ReplicationPolicy
-	MDREpoch      sim.Cycle
-	MDREvalDelay  sim.Cycle // 116-cycle hardware model evaluation
-	MDRSampleSets int       // dynamic set sampling: 8 sets per slice
+	AddressMap   AddressMapping
+	Placement    PlacementPolicy
+	LABThreshold float64
+	Replication  ReplicationPolicy
+	MDREpoch     sim.Cycle // nubaunit: cycles
+	// MDREvalDelay is the 116-cycle hardware model evaluation.
+	// nubaunit: cycles
+	MDREvalDelay  sim.Cycle
+	MDRSampleSets int // dynamic set sampling: 8 sets per slice
 
 	// Migration/PageReplication knobs (§7.6 alternatives).
-	MigrationInterval  sim.Cycle
+	MigrationInterval  sim.Cycle // nubaunit: cycles
 	MigrationThreshold int
 
 	// MCM configuration (Figure 15/16). When NumModules > 1, the
 	// crossbar is split per module and inter-module traffic uses links of
 	// InterModuleGBs bidirectional bandwidth per module.
 	NumModules     int
-	InterModuleGBs float64
+	InterModuleGBs float64 // nubaunit: GB/s
 
 	// ColdStart disables the placement prewarm: every first touch then
 	// pays the full demand-fault penalty during the timed run. The
@@ -303,9 +331,6 @@ func Baseline() Config {
 		LLCLatency:    120,
 		LLCMSHRs:      128,
 		LLCQueue:      32,
-
-		SMsPerPartition:    2,
-		SlicesPerPartition: 2,
 
 		NumChannels:            32,
 		BanksPerChan:           16,
@@ -396,7 +421,6 @@ func (c Config) Scale(factor float64) Config {
 // Figure 14 partition-ratio sweep: 1, 2 or 4 slices per channel).
 func (c Config) WithPartition(slicesPerChannel int) Config {
 	total := c.NumLLCSlices * c.LLCSliceBytes
-	c.SlicesPerPartition = slicesPerChannel
 	c.NumLLCSlices = c.NumChannels * slicesPerChannel
 	c.LLCSliceBytes = total / c.NumLLCSlices
 	return c

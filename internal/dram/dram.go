@@ -8,7 +8,9 @@
 // The controller is a faithful first-order model: one command per channel
 // per memory cycle, open-page policy with FR-FCFS scheduling (row hits
 // first, oldest otherwise), per-bank timing state machines, a shared data
-// bus per channel and a four-activate window.
+// bus per channel, a four-activate window, and four HBM bank groups with
+// long/short ACT-to-ACT (tRRD_L/S), CAS-to-CAS (tCCD_L/S) and
+// write-to-read turnaround (tWTR_L/S) spacings.
 package dram
 
 import (
@@ -46,10 +48,21 @@ type Channel struct {
 	queue *sim.Queue[*sim.MemReq]
 	banks []bank
 
-	busFreeAt  int64 // memory cycle the data bus frees up
-	burst      int64 // data-bus cycles per 128 B transaction
-	lastActs   []int64
-	nextActRRD int64
+	busFreeAt int64 // memory cycle the data bus frees up
+	burst     int64 // data-bus cycles per 128 B transaction
+	lastActs  []int64
+
+	// Bank-group timing state. HBM splits each channel's banks into
+	// four bank groups; back-to-back commands inside one group pay the
+	// long timings (tRRD_L, tCCD_L, tWTR_L), across groups the short
+	// ones (tRRD_S, tCCD_S, tWTR_S).
+	numGroups    int
+	lastActAt    int64 // most recent ACT (any bank); -1 before the first
+	lastActGroup int
+	lastCASAt    int64 // most recent CAS (any bank); -1 before the first
+	lastCASGroup int
+	lastWrEndAt  int64 // end of the most recent write burst; -1 before the first
+	lastWrGroup  int
 
 	completions *sim.Queue[completion]
 
@@ -73,6 +86,10 @@ func NewChannel(id int, cfg *config.Config, mapper *addrmap.Mapper) *Channel {
 	if burst < 1 {
 		burst = 1
 	}
+	groups := 4
+	if cfg.BanksPerChan < groups {
+		groups = 1
+	}
 	return &Channel{
 		id:          id,
 		cfg:         cfg,
@@ -82,8 +99,55 @@ func NewChannel(id int, cfg *config.Config, mapper *addrmap.Mapper) *Channel {
 		banks:       make([]bank, cfg.BanksPerChan),
 		burst:       burst,
 		lastActs:    make([]int64, 0, 4),
+		numGroups:   groups,
+		lastActAt:   -1,
+		lastCASAt:   -1,
+		lastWrEndAt: -1,
 		completions: sim.NewQueue[completion](0),
 	}
+}
+
+// groupOf returns the bank group of a bank index (consecutive split).
+func (c *Channel) groupOf(bankIdx int) int {
+	return bankIdx * c.numGroups / len(c.banks)
+}
+
+// actOK reports whether an ACT targeting group g satisfies the
+// ACT-to-ACT spacing: tRRD_L within a bank group, tRRD_S across.
+func (c *Channel) actOK(now int64, g int) bool {
+	if c.lastActAt < 0 {
+		return true
+	}
+	gap := int64(c.t.TRRDS)
+	if g == c.lastActGroup {
+		gap = int64(c.t.TRRDL)
+	}
+	return now-c.lastActAt >= gap
+}
+
+// casOK reports whether a CAS targeting group g satisfies tCCD_L/tCCD_S
+// spacing and — for reads after a write burst — the tWTR_L/tWTR_S
+// write-to-read turnaround.
+func (c *Channel) casOK(now int64, g int, req *sim.MemReq) bool {
+	if c.lastCASAt >= 0 {
+		gap := int64(c.t.TCCDS)
+		if g == c.lastCASGroup {
+			gap = int64(c.t.TCCDL)
+		}
+		if now-c.lastCASAt < gap {
+			return false
+		}
+	}
+	if req.Kind != sim.Store && c.lastWrEndAt >= 0 {
+		turn := int64(c.t.TWTRS)
+		if g == c.lastWrGroup {
+			turn = int64(c.t.TWTRL)
+		}
+		if now < c.lastWrEndAt+turn {
+			return false
+		}
+	}
+	return true
 }
 
 // ID returns the channel index.
@@ -113,12 +177,13 @@ func (c *Channel) fawOK(now int64) bool {
 	return now-c.lastActs[len(c.lastActs)-4] >= int64(c.t.TFAW)
 }
 
-func (c *Channel) recordAct(now int64) {
+func (c *Channel) recordAct(now int64, g int) {
 	c.lastActs = append(c.lastActs, now)
 	if len(c.lastActs) > 8 {
 		c.lastActs = c.lastActs[len(c.lastActs)-4:]
 	}
-	c.nextActRRD = now + int64(c.t.TRRDS)
+	c.lastActAt = now
+	c.lastActGroup = g
 }
 
 // Tick advances the channel by one memory cycle, issuing at most one
@@ -144,9 +209,11 @@ func (c *Channel) Tick(now int64) {
 	n := c.queue.Len()
 	for i := 0; i < n; i++ {
 		req := c.queue.At(i)
-		b := &c.banks[c.mapper.Bank(req.Addr)]
-		if b.rowOpen && b.row == c.mapper.Row(req.Addr) && b.readyCAS <= now && c.busFreeAt <= c.casDataStart(now, req) {
-			c.issueCAS(now, req, b, b.openedFor != req)
+		bi := c.mapper.Bank(req.Addr)
+		b := &c.banks[bi]
+		if b.rowOpen && b.row == c.mapper.Row(req.Addr) && b.readyCAS <= now &&
+			c.busFreeAt <= c.casDataStart(now, req) && c.casOK(now, c.groupOf(bi), req) {
+			c.issueCAS(now, req, b, c.groupOf(bi), b.openedFor != req)
 			b.openedFor = nil
 			c.queue.RemoveAt(i)
 			return
@@ -176,14 +243,14 @@ func (c *Channel) Tick(now int64) {
 				return
 			}
 		default: // closed: activate
-			if b.readyAct <= now && c.nextActRRD <= now && c.fawOK(now) {
+			if b.readyAct <= now && c.actOK(now, c.groupOf(bi)) && c.fawOK(now) {
 				b.rowOpen = true
 				b.row = row
 				b.readyCAS = now + int64(c.t.TRCD)
 				b.readyPre = now + int64(c.t.TRAS)
 				b.readyAct = now + int64(c.t.TRC)
 				b.openedFor = req
-				c.recordAct(now)
+				c.recordAct(now, c.groupOf(bi))
 				c.RowMisses++
 				return
 			}
@@ -200,16 +267,20 @@ func (c *Channel) casDataStart(now int64, req *sim.MemReq) int64 {
 	return now + int64(c.t.TCL)
 }
 
-func (c *Channel) issueCAS(now int64, req *sim.MemReq, b *bank, rowHit bool) {
+func (c *Channel) issueCAS(now int64, req *sim.MemReq, b *bank, g int, rowHit bool) {
 	start := c.casDataStart(now, req)
 	end := start + c.burst
 	c.busFreeAt = end
 	c.BusyCycles += c.burst
+	c.lastCASAt = now
+	c.lastCASGroup = g
 	if rowHit {
 		c.RowHits++
 	}
 	if req.Kind == sim.Store {
 		c.Writes++
+		c.lastWrEndAt = end
+		c.lastWrGroup = g
 		b.readyPre = max64(b.readyPre, end+int64(c.t.TWR))
 	} else {
 		c.Reads++
@@ -244,9 +315,9 @@ func (c *Channel) DebugState(now int64) string {
 	if c.queue.Len() > 0 {
 		req := c.queue.At(0)
 		b := &c.banks[c.mapper.Bank(req.Addr)]
-		s += fmt.Sprintf(" head={%v addr=%#x bank=%d} bank={open=%v row=%d rdyAct=%+d rdyCAS=%+d rdyPre=%+d} rrd=%+d",
-			req.Kind, req.Addr, c.mapper.Bank(req.Addr),
-			b.rowOpen, b.row, b.readyAct-now, b.readyCAS-now, b.readyPre-now, c.nextActRRD-now)
+		s += fmt.Sprintf(" head={%v addr=%#x bank=%d grp=%d} bank={open=%v row=%d rdyAct=%+d rdyCAS=%+d rdyPre=%+d} lastAct=%+d",
+			req.Kind, req.Addr, c.mapper.Bank(req.Addr), c.groupOf(c.mapper.Bank(req.Addr)),
+			b.rowOpen, b.row, b.readyAct-now, b.readyCAS-now, b.readyPre-now, c.lastActAt-now)
 	}
 	return s
 }

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -56,9 +57,9 @@ func TestFixtureGolden(t *testing.T) {
 	}
 }
 
-// TestEveryRuleFires asserts the fixture exercises all five rules (plus
-// the directive pseudo-rule), so a rule that silently stops matching
-// cannot hide behind a stale golden file.
+// TestEveryRuleFires asserts the fixture exercises all eight rules
+// (plus the directive pseudo-rule), so a rule that silently stops
+// matching cannot hide behind a stale golden file.
 func TestEveryRuleFires(t *testing.T) {
 	prog, pol := loadFixture(t)
 	diags, err := Run(prog, pol, nil)
@@ -110,6 +111,18 @@ func TestSuppressionsHold(t *testing.T) {
 			t.Errorf("suppressed or idiomatic site flagged: %s", d)
 		}
 	}
+
+	// The liveness and unit suppressions must hold too: the Intentional
+	// knob carries an ignore directive, and units.Suppressed mixes units
+	// under one.
+	for _, d := range diags {
+		if strings.Contains(d.Message, "Intentional") {
+			t.Errorf("ignored config knob flagged: %s", d)
+		}
+		if d.Rule == RuleUnits && d.Message == "mixed units in '-': byte vs cycle" {
+			t.Errorf("suppressed unit mix flagged: %s", d)
+		}
+	}
 }
 
 // TestRuleSelection asserts -rules narrows the run to the chosen rule
@@ -139,17 +152,56 @@ func TestRuleSelection(t *testing.T) {
 	}
 }
 
-// TestDiagnosticJSON asserts the -json shape stays stable.
+// TestDiagnosticJSON asserts the -json shape stays stable, severity
+// field included.
 func TestDiagnosticJSON(t *testing.T) {
-	d := Diagnostic{File: "a/b.go", Line: 3, Col: 7, Rule: RuleMapRange, Message: "m"}
+	d := Diagnostic{File: "a/b.go", Line: 3, Col: 7, Rule: RuleMapRange,
+		Severity: SeverityError, Message: "m"}
 	data, err := json.Marshal(d)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := `{"file":"a/b.go","line":3,"col":7,"rule":"nondet-map-range","message":"m"}`
+	want := `{"file":"a/b.go","line":3,"col":7,"rule":"nondet-map-range","severity":"error","message":"m"}`
 	if string(data) != want {
 		t.Errorf("json = %s, want %s", data, want)
 	}
+}
+
+// TestJSONDeterministic asserts two fully independent analyses of the
+// same tree marshal to byte-identical JSON: same ordering (file, line,
+// col, rule), same severity, no map-iteration noise anywhere in the
+// engine. This is what lets CI diff nubalint -json output across runs.
+func TestJSONDeterministic(t *testing.T) {
+	var outs [][]byte
+	for i := 0; i < 2; i++ {
+		prog, pol := loadFixture(t)
+		diags, err := Run(prog, pol, nil)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		data, err := json.Marshal(diags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, data)
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Errorf("JSON output differs across runs:\n--- 1 ---\n%s\n--- 2 ---\n%s", outs[0], outs[1])
+	}
+	for _, d := range mustUnmarshal(t, outs[0]) {
+		if d.Severity != SeverityError {
+			t.Errorf("finding %s has severity %q, want %q", d, d.Severity, SeverityError)
+		}
+	}
+}
+
+func mustUnmarshal(t *testing.T, data []byte) []Diagnostic {
+	t.Helper()
+	var ds []Diagnostic
+	if err := json.Unmarshal(data, &ds); err != nil {
+		t.Fatal(err)
+	}
+	return ds
 }
 
 // TestPolicyParseErrors asserts the policy parser rejects malformed and

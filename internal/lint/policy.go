@@ -30,10 +30,27 @@ import (
 //	    or packages from <rule>. This is the coarse escape hatch for
 //	    designated layers (e.g. the engine's progress/clock helper for
 //	    no-wallclock); single sites use //nubalint:ignore instead.
+//
+// The module-wide liveness rules add three more directives of the same
+// shape (see liveness.go):
+//
+//	structs <rule> = <pkg.Type...>
+//	    Names the parameter/counter structs the rule audits, as
+//	    module-relative package dot type ("internal/config.Config").
+//
+//	readers <rule> = <pkgs-or-files...>
+//	writers <rule> = <pkgs-or-files...>
+//	    Name the packages (or single files, e.g.
+//	    "internal/metrics/chart.go") whose code — including everything
+//	    transitively called from it — counts as a legitimate read
+//	    (resp. write) of the audited fields.
 type Policy struct {
-	layers map[string][]string // pkg pattern -> allowed internal imports
-	scopes map[string][]string // rule -> pkg patterns
-	allows map[string][]string // rule -> file/pkg patterns
+	layers  map[string][]string // pkg pattern -> allowed internal imports
+	scopes  map[string][]string // rule -> pkg patterns
+	allows  map[string][]string // rule -> file/pkg patterns
+	structs map[string][]string // rule -> pkg.Type specs
+	readers map[string][]string // rule -> pkg/file patterns
+	writers map[string][]string // rule -> pkg/file patterns
 }
 
 // ParsePolicy reads and parses a policy file.
@@ -48,9 +65,12 @@ func ParsePolicy(file string) (*Policy, error) {
 // ParsePolicyData parses policy text; name is used in error messages.
 func ParsePolicyData(src, name string) (*Policy, error) {
 	p := &Policy{
-		layers: make(map[string][]string),
-		scopes: make(map[string][]string),
-		allows: make(map[string][]string),
+		layers:  make(map[string][]string),
+		scopes:  make(map[string][]string),
+		allows:  make(map[string][]string),
+		structs: make(map[string][]string),
+		readers: make(map[string][]string),
+		writers: make(map[string][]string),
 	}
 	for i, line := range strings.Split(src, "\n") {
 		if idx := strings.IndexByte(line, '#'); idx >= 0 {
@@ -86,8 +106,16 @@ func ParsePolicyData(src, name string) (*Policy, error) {
 				return nil, fmt.Errorf("%s:%d: allow for unknown rule %q", name, i+1, subject)
 			}
 			p.allows[subject] = append(p.allows[subject], vals...)
+		case "structs", "readers", "writers":
+			if !knownRule(subject) {
+				return nil, fmt.Errorf("%s:%d: %s for unknown rule %q", name, i+1, verb, subject)
+			}
+			m := map[string]map[string][]string{
+				"structs": p.structs, "readers": p.readers, "writers": p.writers,
+			}[verb]
+			m[subject] = append(m[subject], vals...)
 		default:
-			return nil, fmt.Errorf("%s:%d: unknown directive %q (want layer/scope/allow)", name, i+1, verb)
+			return nil, fmt.Errorf("%s:%d: unknown directive %q (want layer/scope/allow/structs/readers/writers)", name, i+1, verb)
 		}
 	}
 	return p, nil
@@ -137,6 +165,17 @@ func (p *Policy) LayerFor(relName string) (allowed map[string]bool, declared boo
 	}
 	return allowed, declared
 }
+
+// Structs returns the pkg.Type specs audited by a liveness rule.
+func (p *Policy) Structs(rule string) []string { return p.structs[rule] }
+
+// Readers returns the package/file patterns whose code (and its
+// transitive callees) counts as reading the rule's audited fields.
+func (p *Policy) Readers(rule string) []string { return p.readers[rule] }
+
+// Writers returns the package/file patterns whose code (and its
+// transitive callees) counts as writing the rule's audited fields.
+func (p *Policy) Writers(rule string) []string { return p.writers[rule] }
 
 // Allowed reports whether rule exempts the given module-relative file
 // (or its package relName) via an allow entry.

@@ -33,15 +33,40 @@ const (
 	// RuleGoroutine flags go statements inside cycle-level model
 	// packages; concurrency belongs to the experiment engine.
 	RuleGoroutine = "goroutine-in-core"
-	// RuleDirective reports malformed //nubalint:ignore comments. It is
-	// always on: a directive that silently fails to parse would hide
-	// real findings.
+	// RuleConfigLive flags exported parameter-struct fields that no
+	// simulator package ever reads (module-wide, over the use graph):
+	// a paper knob plumbed into internal/config but never wired into
+	// the model is a silent modeling-fidelity bug. See liveness.go.
+	RuleConfigLive = "config-liveness"
+	// RuleMetricsLive flags counter fields that are never written from
+	// a simulator package (dead) or written but never read from the
+	// reporting path (unreported). See liveness.go.
+	RuleMetricsLive = "metrics-liveness"
+	// RuleUnits flags mixed-unit arithmetic between expressions whose
+	// units are known from //nubaunit: annotations. See units.go.
+	RuleUnits = "unit-consistency"
+	// RuleDirective reports malformed //nubalint:ignore comments and
+	// nubaunit annotations. It is always on: a directive that silently
+	// fails to parse would hide real findings.
 	RuleDirective = "directive"
 )
 
 // AllRules lists the selectable rules in documentation order.
 func AllRules() []string {
-	return []string{RuleMapRange, RuleWallclock, RuleLayering, RuleCtx, RuleGoroutine}
+	return []string{
+		RuleMapRange, RuleWallclock, RuleLayering, RuleCtx, RuleGoroutine,
+		RuleConfigLive, RuleMetricsLive, RuleUnits,
+	}
+}
+
+// Severity levels carried on diagnostics (the -json "severity" field).
+// Every rule currently gates CI, so every finding is an error; the
+// mapping exists so tooling has a stable field to key on.
+const SeverityError = "error"
+
+// severityOf returns the severity for a rule's findings.
+func severityOf(rule string) string {
+	return SeverityError
 }
 
 // knownRule reports whether name is a selectable rule.
@@ -54,7 +79,10 @@ func knownRule(name string) bool {
 	return false
 }
 
-// ruleFuncs maps each rule to its checker.
+// ruleFuncs maps each per-package rule to its checker. The module-wide
+// rules (config-liveness, metrics-liveness) live in progRuleFuncs and
+// unit-consistency is dispatched separately because it needs the
+// module-wide annotation table (see Run).
 var ruleFuncs = map[string]func(*pkgCtx){
 	RuleMapRange:  checkMapRange,
 	RuleWallclock: checkWallclock,
@@ -63,14 +91,23 @@ var ruleFuncs = map[string]func(*pkgCtx){
 	RuleGoroutine: checkGoroutine,
 }
 
-// pkgCtx bundles what every rule needs for one package. emitPos
-// reports a diagnostic at a token position, applying directive
-// suppression (bound in Run).
+// progRuleFuncs maps each module-wide rule to its checker; these run
+// once over the whole program, after the per-package rules.
+var progRuleFuncs = map[string]func(*progCtx) error{
+	RuleConfigLive:  checkConfigLiveness,
+	RuleMetricsLive: checkMetricsLiveness,
+}
+
+// emitFunc reports a diagnostic at a token position, applying
+// directive suppression (bound in Run).
+type emitFunc func(pos token.Pos, rule, msg string)
+
+// pkgCtx bundles what every per-package rule needs for one package.
 type pkgCtx struct {
 	prog    *Program
 	pol     *Policy
 	pkg     *Package
-	emitPos func(pos token.Pos, rule, msg string)
+	emitPos emitFunc
 }
 
 // --- nondet-map-range ------------------------------------------------

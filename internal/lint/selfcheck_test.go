@@ -7,11 +7,16 @@ import (
 
 // TestRepoLintsClean runs the real analyzer, with the real committed
 // lint.policy, over the real module — the same invocation as
-// `go run ./cmd/nubalint ./...`. The repo must stay finding-free: a
-// new unsorted map range on the report path, a stray time.Now in a
-// model package, or an import edge outside the DAG fails this test
-// (and with it `make check` and CI).
+// `go run ./cmd/nubalint ./...` — under all eight rules. The repo must
+// stay finding-free: a new unsorted map range on the report path, a
+// stray time.Now in a model package, an import edge outside the DAG, a
+// config knob no simulator package reads, a Stats counter nothing
+// writes or reports, or an expression mixing //nubaunit: dimensions
+// fails this test (and with it `make check` and CI).
 func TestRepoLintsClean(t *testing.T) {
+	if n := len(AllRules()); n != 8 {
+		t.Fatalf("AllRules() has %d rules, want 8; update this test and the docs", n)
+	}
 	mod, err := FindModule("../..")
 	if err != nil {
 		t.Fatalf("FindModule: %v", err)

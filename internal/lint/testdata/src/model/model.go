@@ -1,0 +1,15 @@
+// Package model is the fixture's simulator: the sanctioned reader of
+// params knobs and writer of stats counters.
+package model
+
+import (
+	"example.com/fixture/params"
+	"example.com/fixture/stats"
+)
+
+// Step consumes the live knobs and bumps the counters. The += on Ticks
+// is a write, not a read: reporting must happen in the report package.
+func Step(cfg *params.Config, st *stats.Stats) {
+	st.Ticks += int64(cfg.LineBytes / cfg.Derived())
+	st.Unreported++
+}

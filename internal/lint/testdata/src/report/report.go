@@ -1,0 +1,9 @@
+// Package report is the fixture's reporting path: the sanctioned
+// reader of stats counters.
+package report
+
+import "example.com/fixture/stats"
+
+// Summarize reads the reported counters. Counters it never touches are
+// unreported-counter findings.
+func Summarize(st *stats.Stats) int64 { return st.Ticks }

@@ -1,0 +1,43 @@
+// Package units exercises the dimensional checker: annotated consts
+// and vars, mixed-unit arithmetic, sound compositions and suppression.
+package units
+
+// LineBytes is the transfer size.
+const LineBytes = 128 // nubaunit: bytes
+
+// Window is a sampling interval.
+const Window = 1000 // nubaunit: cycles
+
+// Rate is the link bandwidth.
+const Rate = 4 // nubaunit: bytes/cycle
+
+// Budget is an annotated package var.
+var Budget int64 // nubaunit: bytes
+
+// MixedAdd adds bytes to cycles: finding.
+func MixedAdd() int { return LineBytes + Window }
+
+// MixedCompare compares bytes with cycles: finding.
+func MixedCompare() bool { return LineBytes < Window }
+
+// BadAssign stores a cycle count into a bytes-annotated var: finding.
+func BadAssign() { Budget = int64(Window) }
+
+// Compose multiplies bytes/cycle by cycles and compares the product
+// with bytes — dimensionally sound, clean.
+func Compose() bool {
+	moved := Rate * Window
+	return moved > LineBytes
+}
+
+// Quotient divides bytes by bytes/cycle, yielding cycles: clean.
+func Quotient() bool {
+	took := LineBytes / Rate
+	return took < Window
+}
+
+// Suppressed mixes units under an ignore directive: no finding.
+func Suppressed() int {
+	//nubalint:ignore unit-consistency fixture exercises unit suppression
+	return LineBytes - Window
+}

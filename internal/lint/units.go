@@ -1,0 +1,402 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// unit-consistency: a lightweight dimensional checker. Config/metrics
+// struct fields, consts and package-level vars carry a
+//
+//	//nubaunit: <unit>
+//
+// annotation (doc comment or same-line comment). The unit grammar is
+//
+//	unit = atom { ("/" | "*") atom }
+//	atom = identifier | "1"
+//
+// so "cycles", "bytes", "bytes/cycle", "GB/s", "pages" and "1/cycle"
+// all parse; atoms are singularized ("cycles" ≡ "cycle") and compose
+// into exponent vectors ("bytes/cycle" = {byte:1, cycle:-1}).
+//
+// Propagation is intraprocedural: `x := expr` gives the local x the
+// unit of expr, `*` and `/` compose exponent vectors, unary +/- and
+// conversions pass units through, and everything unannotated is
+// unit-free (it never constrains). A finding is a `+`, `-`, comparison
+// or assignment whose two sides carry *different known* units — mixing
+// bytes/cycle with GB/s, or a cycle count with a byte count.
+
+// unitVal is an exponent vector over base dimensions: bytes/cycle is
+// {"byte": 1, "cycle": -1}. A nil unitVal means "unit-free".
+type unitVal map[string]int
+
+// parseUnit parses the annotation grammar above.
+func parseUnit(s string) (unitVal, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("empty unit")
+	}
+	u := make(unitVal)
+	sign := 1
+	atom := func(tok string) error {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			return fmt.Errorf("empty atom in unit %q", s)
+		}
+		if tok == "1" {
+			return nil // dimensionless placeholder, e.g. "1/cycle"
+		}
+		for _, r := range tok {
+			if !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9') {
+				return fmt.Errorf("bad atom %q in unit %q", tok, s)
+			}
+		}
+		u[singular(tok)] += sign
+		return nil
+	}
+	start := 0
+	for i, r := range s {
+		if r != '/' && r != '*' {
+			continue
+		}
+		if err := atom(s[start:i]); err != nil {
+			return nil, err
+		}
+		if r == '/' {
+			sign = -1
+		} else {
+			// '*' keeps the running sign: a/b*c means a/(b) * c with c
+			// in the numerator again.
+			sign = 1
+		}
+		start = i + len(string(r))
+	}
+	if err := atom(s[start:]); err != nil {
+		return nil, err
+	}
+	for k, v := range u {
+		if v == 0 {
+			delete(u, k)
+		}
+	}
+	return u, nil
+}
+
+// singular folds plural atom spellings onto one dimension name:
+// "cycles" ≡ "cycle", "bytes" ≡ "byte". Short atoms ("s", "GB", "ns")
+// are left alone.
+func singular(tok string) string {
+	if len(tok) > 2 && strings.HasSuffix(tok, "s") && !strings.HasSuffix(tok, "ss") {
+		return tok[:len(tok)-1]
+	}
+	return tok
+}
+
+func (u unitVal) equal(v unitVal) bool {
+	if len(u) != len(v) {
+		return false
+	}
+	for k, e := range u {
+		if v[k] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector canonically: positive exponents joined by
+// '*', then '/' for each negative one ("byte/cycle", "GB/s").
+func (u unitVal) String() string {
+	if len(u) == 0 {
+		return "1"
+	}
+	keys := make([]string, 0, len(u))
+	for k := range u {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var num, den []string
+	for _, k := range keys {
+		for i := 0; i < u[k]; i++ {
+			num = append(num, k)
+		}
+		for i := 0; i < -u[k]; i++ {
+			den = append(den, k)
+		}
+	}
+	s := strings.Join(num, "*")
+	if s == "" {
+		s = "1"
+	}
+	for _, d := range den {
+		s += "/" + d
+	}
+	return s
+}
+
+// mul returns u*v (exponent sum); invert gives 1/u.
+func (u unitVal) mul(v unitVal) unitVal {
+	r := make(unitVal, len(u)+len(v))
+	for k, e := range u {
+		r[k] += e
+	}
+	for k, e := range v {
+		r[k] += e
+	}
+	for k, e := range r {
+		if e == 0 {
+			delete(r, k)
+		}
+	}
+	return r
+}
+
+func (u unitVal) invert() unitVal {
+	r := make(unitVal, len(u))
+	for k, e := range u {
+		r[k] = -e
+	}
+	return r
+}
+
+// unitAnnotationPrefix introduces a unit annotation; both "//nubaunit:"
+// and "// nubaunit:" spellings are accepted.
+const unitAnnotationPrefix = "nubaunit:"
+
+// collectUnits scans every loaded package for nubaunit annotations on
+// struct fields, consts and package-level vars and returns the
+// object→unit table. Malformed annotations are reported through emit
+// under the always-on directive rule: an annotation that silently
+// parses to nothing would check nothing.
+func collectUnits(prog *Program, emit emitFunc) map[types.Object]unitVal {
+	ann := make(map[types.Object]unitVal)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			bind := func(names []*ast.Ident, doc, line *ast.CommentGroup) {
+				u, ok := unitFromComments(doc, line, emit)
+				if !ok {
+					return
+				}
+				for _, name := range names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						ann[obj] = u
+					}
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.StructType:
+					for _, field := range x.Fields.List {
+						bind(field.Names, field.Doc, field.Comment)
+					}
+				case *ast.GenDecl:
+					if x.Tok != token.CONST && x.Tok != token.VAR {
+						return true
+					}
+					for _, spec := range x.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							bind(vs.Names, vs.Doc, vs.Comment)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return ann
+}
+
+// unitFromComments extracts the first nubaunit annotation from the doc
+// comment or the same-line trailing comment of a declaration.
+func unitFromComments(doc, line *ast.CommentGroup, emit emitFunc) (unitVal, bool) {
+	for _, cg := range []*ast.CommentGroup{doc, line} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, unitAnnotationPrefix)
+			if !ok {
+				continue
+			}
+			u, err := parseUnit(rest)
+			if err != nil {
+				emit(c.Pos(), RuleDirective, "malformed nubaunit annotation: "+err.Error())
+				return nil, false
+			}
+			return u, true
+		}
+	}
+	return nil, false
+}
+
+// --- the checker ------------------------------------------------------
+
+// checkUnits runs the dimensional checker over one package's function
+// bodies.
+func checkUnits(c *pkgCtx, ann map[types.Object]unitVal) {
+	if !c.pol.InScope(RuleUnits, c.pkg.RelName()) {
+		return
+	}
+	for _, f := range c.pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkUnitsBody(c, ann, fn.Body)
+		}
+	}
+}
+
+func checkUnitsBody(c *pkgCtx, ann map[types.Object]unitVal, body *ast.BlockStmt) {
+	info := c.pkg.Info
+
+	// Pass 1: bind locals. `x := expr` (and `x = expr` re-binds) give x
+	// the unit of expr; ast.Inspect visits assignments in source order,
+	// so straight-line chains propagate.
+	env := make(map[types.Object]unitVal)
+	var unitOf func(e ast.Expr) unitVal
+	unitOf = func(e ast.Expr) unitVal {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			return unitOf(x.X)
+		case *ast.UnaryExpr:
+			if x.Op == token.SUB || x.Op == token.ADD {
+				return unitOf(x.X)
+			}
+			return nil
+		case *ast.Ident:
+			obj := objOf(info, x)
+			if obj == nil {
+				return nil
+			}
+			if u, ok := ann[obj]; ok {
+				return u
+			}
+			return env[obj]
+		case *ast.SelectorExpr:
+			if obj := objOf(info, x.Sel); obj != nil {
+				return ann[obj]
+			}
+			return nil
+		case *ast.BinaryExpr:
+			u1, u2 := unitOf(x.X), unitOf(x.Y)
+			switch x.Op {
+			case token.MUL:
+				switch {
+				case u1 != nil && u2 != nil:
+					return u1.mul(u2)
+				case u1 != nil:
+					return u1 // unit-free operand acts as a scalar
+				default:
+					return u2
+				}
+			case token.QUO:
+				switch {
+				case u1 != nil && u2 != nil:
+					return u1.mul(u2.invert())
+				case u1 != nil:
+					return u1
+				case u2 != nil:
+					return u2.invert()
+				default:
+					return nil
+				}
+			case token.ADD, token.SUB:
+				if u1 != nil {
+					return u1
+				}
+				return u2
+			}
+			return nil
+		case *ast.CallExpr:
+			// A conversion T(x) keeps x's unit; other calls are free.
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				return unitOf(x.Args[0])
+			}
+			return nil
+		}
+		return nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE && as.Tok != token.ASSIGN {
+			return true
+		}
+		if len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := objOf(info, id)
+			if obj == nil {
+				continue
+			}
+			if _, annotated := ann[obj]; annotated {
+				continue // annotated objects keep their declared unit
+			}
+			if u := unitOf(as.Rhs[i]); u != nil {
+				env[obj] = u
+			}
+		}
+		return true
+	})
+
+	// Pass 2: each binary +,-,comparison node is visited exactly once;
+	// operand units are computed purely, so nested mismatches are
+	// reported at their own node and never twice.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.ADD, token.SUB,
+				token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			default:
+				return true
+			}
+			u1, u2 := unitOf(x.X), unitOf(x.Y)
+			if u1 != nil && u2 != nil && !u1.equal(u2) {
+				c.emitPos(x.OpPos, RuleUnits,
+					fmt.Sprintf("mixed units in '%s': %s vs %s", x.Op, u1, u2))
+			}
+		case *ast.AssignStmt:
+			check := func(lhs, rhs ast.Expr) {
+				var lu unitVal
+				switch l := lhs.(type) {
+				case *ast.SelectorExpr:
+					if obj := objOf(info, l.Sel); obj != nil {
+						lu = ann[obj]
+					}
+				case *ast.Ident:
+					if obj := objOf(info, l); obj != nil {
+						lu = ann[obj]
+					}
+				}
+				if lu == nil {
+					return
+				}
+				if ru := unitOf(rhs); ru != nil && !ru.equal(lu) {
+					c.emitPos(x.TokPos, RuleUnits,
+						fmt.Sprintf("assignment mixes units: %s := %s", lu, ru))
+				}
+			}
+			switch x.Tok {
+			case token.ASSIGN, token.ADD_ASSIGN, token.SUB_ASSIGN:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i := range x.Lhs {
+						check(x.Lhs[i], x.Rhs[i])
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -6,6 +6,36 @@ import (
 	"strings"
 )
 
+// DetailTable renders the single-run deep-dive table: the secondary
+// counters that the headline Stats.String line omits — per-thread
+// instruction counts, the L1/TLB hit breakdowns, NoC serialization and
+// UBA coherence traffic. Every Stats counter must be consumed by a
+// reporting surface (metrics-liveness in lint.policy); this table is
+// that surface for the counters below.
+func DetailTable(s *Stats) string {
+	t := &Table{Header: []string{"counter", "value", "note"}}
+	row := func(name string, v int64, note string) {
+		t.AddRow(name, fmt.Sprintf("%d", v), note)
+	}
+	rate := func(part, whole int64) string {
+		if whole == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.3f", float64(part)/float64(whole))
+	}
+	row("thread_instructions", s.ThreadInstructions, "per-lane instruction count")
+	row("l1_hits", s.L1Hits, "hit rate "+rate(s.L1Hits, s.L1Accesses))
+	row("llc_misses", s.LLCMisses, "miss rate "+rate(s.LLCMisses, s.LLCAccesses))
+	row("noc_flits", s.NoCFlits, "port serialization cycles")
+	row("coherence_invalidations", s.CoherenceInvalidations, "UBA cross-partition invalidations")
+	row("coherence_traffic_bytes", s.CoherenceTraffic, "invalidation payload bytes")
+	row("l1_tlb_accesses", s.TLBAccesses, "miss rate "+rate(s.TLBMisses, s.TLBAccesses))
+	row("l1_tlb_misses", s.TLBMisses, "")
+	row("l2_tlb_accesses", s.L2TLBAccesses, "miss rate "+rate(s.L2TLBMisses, s.L2TLBAccesses))
+	row("l2_tlb_misses", s.L2TLBMisses, "")
+	return t.String()
+}
+
 // BarChart renders a horizontal ASCII bar chart, the terminal stand-in
 // for the paper's figures. Negative values extend left of the axis.
 type BarChart struct {

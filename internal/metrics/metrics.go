@@ -16,6 +16,7 @@ import (
 // single-goroutine by design).
 type Stats struct {
 	// Cycles is the total simulated core cycles.
+	// nubaunit: cycles
 	Cycles int64
 	// Instructions is the number of warp instructions executed
 	// (one warp instruction counts once, not 32 times).
@@ -52,15 +53,16 @@ type Stats struct {
 
 	// NoCFlits is the total serialization cycles consumed on NoC ports;
 	// NoCBytes the payload bytes; both feed the NoC energy model.
-	NoCFlits int64
-	NoCBytes int64
+	NoCFlits int64 // nubaunit: cycles
+	NoCBytes int64 // nubaunit: bytes
 	// LocalLinkBytes is traffic on NUBA point-to-point links (not NoC).
+	// nubaunit: bytes
 	LocalLinkBytes int64
 
 	// CoherenceInvalidations counts SM-side UBA cross-partition
 	// invalidations; CoherenceTraffic their bytes.
 	CoherenceInvalidations int64
-	CoherenceTraffic       int64
+	CoherenceTraffic       int64 // nubaunit: bytes
 
 	// PageFaults is the number of first-touch page faults taken;
 	// PageMigrations counts pages moved by the migration policy;
@@ -84,15 +86,15 @@ type Stats struct {
 
 	// MemLatencySum/MemLatencyCount give average round-trip latency of L1
 	// misses in cycles.
-	MemLatencySum   int64
+	MemLatencySum   int64 // nubaunit: cycles
 	MemLatencyCount int64
 
 	// Energy in nanojoules, filled by the energy model at the end of a run.
-	NoCEnergyNJ    float64
-	DRAMEnergyNJ   float64
-	CoreEnergyNJ   float64
-	LLCEnergyNJ    float64
-	StaticEnergyNJ float64
+	NoCEnergyNJ    float64 // nubaunit: nJ
+	DRAMEnergyNJ   float64 // nubaunit: nJ
+	CoreEnergyNJ   float64 // nubaunit: nJ
+	LLCEnergyNJ    float64 // nubaunit: nJ
+	StaticEnergyNJ float64 // nubaunit: nJ
 }
 
 // IPC returns warp instructions per cycle across the whole GPU.

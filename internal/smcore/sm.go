@@ -40,6 +40,9 @@ type lineReq struct {
 	vaddr uint64 // line-aligned virtual address
 	paddr uint64
 	state lineState
+	// readyAt parks a translated line until the L1 TLB hit latency has
+	// elapsed (zero when L1TLBLatency <= 1: the hit is same-cycle).
+	readyAt sim.Cycle
 }
 
 // memAccess is a warp memory instruction in flight in the LSU.
@@ -468,9 +471,19 @@ func (s *SM) tickLSU(now sim.Cycle) {
 				i++ // walk in flight: park
 				continue
 			}
-			// L1 TLB hit: the cache access proceeds this cycle.
+			// L1 TLB hit: with a 1-cycle TLB the cache access proceeds
+			// this cycle; longer L1TLBLatency parks the line.
+			if lat := s.cfg.L1TLBLatency; lat > 1 {
+				line.readyAt = now + lat - 1
+				i++
+				continue
+			}
 			fallthrough
 		case lineTranslated:
+			if line.readyAt > now {
+				i++ // waiting out the L1 TLB hit latency
+				continue
+			}
 			if !s.accessL1(acc, line, now) {
 				return // MSHR or send queue full: structural stall
 			}
@@ -574,7 +587,10 @@ func (s *SM) accessL1(acc *memAccess, line *lineReq, now sim.Cycle) bool {
 	if s.l1.Access(line.paddr, false, int64(now)) {
 		s.stats.L1Hits++
 		ws.outstanding--
-		s.completeLine(acc.warp, acc.dstReg, now)
+		// The register becomes ready after the configured L1 hit
+		// latency (completeLine credits it at now+1, so offset by
+		// L1Latency-1; the 1-cycle default is the pre-existing timing).
+		s.completeLine(acc.warp, acc.dstReg, now+s.cfg.L1Latency-1)
 		return true
 	}
 	la := s.l1.LineAddr(line.paddr)

@@ -317,6 +317,11 @@ func NoCPowerW(bd EnergyBreakdown, cycles int64, coreClockGHz float64) float64 {
 	return energy.NoCPowerW(bd, cycles, coreClockGHz)
 }
 
+// DetailTable renders the single-run deep-dive counter table (L1/TLB
+// hit breakdowns, NoC serialization, coherence traffic) for CLIs that
+// want more than the headline Stats line.
+func DetailTable(s *Stats) string { return metrics.DetailTable(s) }
+
 // Speedup returns a.IPC()/b.IPC() — but since runs execute identical work,
 // it uses the inverse cycle ratio, the paper's speedup definition.
 func Speedup(candidate, baseline *Result) float64 {
