@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint fmt-check test test-short race check clean
+.PHONY: build vet lint fmt-check docs-check test test-short race check clean
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,11 @@ lint:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Docs-versus-code drift: flags mentioned in README/docs must exist in
+# cmd/*, and intra-repo Markdown links must resolve (see cmd/nubadocs).
+docs-check:
+	$(GO) run ./cmd/nubadocs
+
 test:
 	$(GO) test ./...
 
@@ -26,7 +31,7 @@ test-short:
 race:
 	$(GO) test -race -timeout 30m ./internal/experiments/... ./internal/lint/...
 
-check: vet build lint fmt-check test race
+check: vet build lint fmt-check docs-check test race
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,228 @@
+// Command nubadocs cross-checks the Markdown documentation against the
+// code, so the docs cannot silently drift from the CLIs they describe
+// (`make docs-check`, wired into `make check` and CI):
+//
+//   - every CLI flag mentioned in a documentation code span (inline
+//     backticks or fenced blocks) must exist in some cmd/* flag set,
+//     parsed straight out of the sources with go/parser — or be a
+//     known flag of an external tool (go test -race, gofmt -l, ...);
+//   - every intra-repo Markdown link must resolve to an existing file
+//     or directory.
+//
+// Checked files: README.md, DESIGN.md, EXPERIMENTS.md and docs/*.md —
+// the user-facing documentation. Process records (CHANGES.md, ISSUE.md,
+// ROADMAP.md, PAPER*.md, SNIPPETS.md) are exempt.
+//
+// Stdlib only, like everything else in the repo.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// externalFlags are flags the docs legitimately mention that belong to
+// external tooling, not to a cmd/* binary.
+var externalFlags = map[string]bool{
+	"race":     true, // go test -race
+	"bench":    true, // go test -bench (also a nubasim flag)
+	"benchmem": true, // go test -benchmem
+	"short":    true, // go test -short
+	"run":      true, // go test -run
+	"count":    true, // go test -count
+	"timeout":  true, // go test -timeout
+	"l":        true, // gofmt -l
+	"r":        true, // jq -r
+}
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	defined, err := definedFlags(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nubadocs:", err)
+		os.Exit(2)
+	}
+	if len(defined) == 0 {
+		fmt.Fprintln(os.Stderr, "nubadocs: no flags found under cmd/ — wrong -root?")
+		os.Exit(2)
+	}
+
+	docs, err := docFiles(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nubadocs:", err)
+		os.Exit(2)
+	}
+
+	var problems []string
+	flagMentions, linkChecks := 0, 0
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nubadocs:", err)
+			os.Exit(2)
+		}
+		rel, _ := filepath.Rel(*root, doc)
+		text := string(data)
+
+		for _, f := range mentionedFlags(text) {
+			flagMentions++
+			if !defined[f] && !externalFlags[f] {
+				problems = append(problems,
+					fmt.Sprintf("%s: flag -%s is not defined by any cmd/* binary", rel, f))
+			}
+		}
+		for _, target := range intraRepoLinks(text) {
+			linkChecks++
+			p := filepath.Join(filepath.Dir(doc), filepath.FromSlash(target))
+			if _, err := os.Stat(p); err != nil {
+				problems = append(problems,
+					fmt.Sprintf("%s: link target %q does not resolve", rel, target))
+			}
+		}
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "nubadocs:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("nubadocs: %d docs ok (%d flag mentions against %d defined flags, %d links)\n",
+		len(docs), flagMentions, len(defined), linkChecks)
+}
+
+// docFiles returns the user-facing Markdown files to check.
+func docFiles(root string) ([]string, error) {
+	var docs []string
+	for _, name := range []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"} {
+		p := filepath.Join(root, name)
+		if _, err := os.Stat(p); err != nil {
+			return nil, fmt.Errorf("required doc %s missing: %w", name, err)
+		}
+		docs = append(docs, p)
+	}
+	extra, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	return append(docs, extra...), nil
+}
+
+// definedFlags parses every Go file under cmd/ and collects the names
+// registered through the flag package (flag.String("name", ...) etc.).
+func definedFlags(root string) (map[string]bool, error) {
+	files, err := filepath.Glob(filepath.Join(root, "cmd", "*", "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	ctors := map[string]bool{
+		"String": true, "Bool": true, "Int": true, "Int64": true,
+		"Uint": true, "Uint64": true, "Float64": true, "Duration": true,
+		"StringVar": true, "BoolVar": true, "IntVar": true, "Int64Var": true,
+		"UintVar": true, "Uint64Var": true, "Float64Var": true, "DurationVar": true,
+	}
+	defined := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, file := range files {
+		f, err := parser.ParseFile(fset, file, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !ctors[sel.Sel.Name] {
+				return true
+			}
+			if x, ok := sel.X.(*ast.Ident); !ok || x.Name != "flag" {
+				return true
+			}
+			// The name is the first string-literal argument ("Var"
+			// variants take the pointer first).
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					if name, err := strconv.Unquote(lit.Value); err == nil {
+						defined[name] = true
+					}
+					break
+				}
+			}
+			return true
+		})
+	}
+	return defined, nil
+}
+
+// flagRe matches a CLI flag mention inside a code span: a dash preceded
+// by a token boundary and followed by a letter (so prose hyphens,
+// negative numbers, arrows and kebab-case identifiers never match).
+var flagRe = regexp.MustCompile(`(?:^|[\s"'(=|])-([a-zA-Z][a-zA-Z0-9-]*)`)
+
+// mentionedFlags extracts flag names from the document's code spans.
+func mentionedFlags(text string) []string {
+	var flags []string
+	for _, span := range codeSpans(text) {
+		for _, m := range flagRe.FindAllStringSubmatch(span, -1) {
+			name := strings.TrimRight(m[1], "-")
+			flags = append(flags, name)
+		}
+	}
+	return flags
+}
+
+var inlineCodeRe = regexp.MustCompile("`([^`\n]+)`")
+
+// codeSpans returns the document's fenced code blocks and inline code
+// spans — the places where CLI flags are conventionally written.
+func codeSpans(text string) []string {
+	var spans []string
+	inFence := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			spans = append(spans, line)
+			continue
+		}
+		for _, m := range inlineCodeRe.FindAllStringSubmatch(line, -1) {
+			spans = append(spans, m[1])
+		}
+	}
+	return spans
+}
+
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// intraRepoLinks extracts relative Markdown link targets (external URLs
+// and pure anchors are skipped; a target's own #anchor is stripped).
+func intraRepoLinks(text string) []string {
+	var links []string
+	for _, m := range linkRe.FindAllStringSubmatch(text, -1) {
+		t := m[1]
+		if strings.Contains(t, "://") || strings.HasPrefix(t, "mailto:") || strings.HasPrefix(t, "#") {
+			continue
+		}
+		if i := strings.IndexByte(t, '#'); i >= 0 {
+			t = t[:i]
+		}
+		if t != "" {
+			links = append(links, t)
+		}
+	}
+	return links
+}

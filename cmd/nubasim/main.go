@@ -12,7 +12,9 @@
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -20,6 +22,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync"
 
 	"github.com/nuba-gpu/nuba"
 )
@@ -35,6 +38,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "benchmarks to simulate in parallel (1 = serial)")
 	verbose := flag.Bool("v", false, "per-run progress on stderr (multi-benchmark mode)")
+	traceOn := flag.Bool("trace", false, "emit an NDJSON epoch trace and a Chrome trace (docs/OBSERVABILITY.md)")
+	traceOut := flag.String("trace-out", "trace", "trace output path prefix; writes <prefix>.ndjson and <prefix>.trace.json (multi-benchmark runs insert the benchmark abbreviation)")
+	traceEpoch := flag.Int64("trace-epoch", 0, "trace sampling interval in cycles (0 = the config's MDR epoch)")
 	flag.Parse()
 
 	var cfg nuba.Config
@@ -100,11 +106,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	tr := traceArgs{on: *traceOn, out: *traceOut, epoch: *traceEpoch}
 	var err error
 	if len(benches) == 1 {
-		err = runOne(ctx, cfg, benches[0])
+		err = runOne(ctx, cfg, benches[0], tr)
 	} else {
-		err = runMany(ctx, cfg, benches, *jobs, *verbose)
+		err = runMany(ctx, cfg, benches, *jobs, *verbose, tr)
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -116,10 +123,69 @@ func main() {
 	}
 }
 
+// traceArgs carries the -trace/-trace-out/-trace-epoch flags.
+type traceArgs struct {
+	on    bool
+	out   string
+	epoch int64
+}
+
+// sink is one buffered trace output file.
+type sink struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+func newSink(path string) (*sink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &sink{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (s *sink) Write(p []byte) (int, error) { return s.w.Write(p) }
+
+func (s *sink) Close() error {
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// openTrace creates the two sink files for one run under the prefix.
+func openTrace(prefix string, epoch int64) (*nuba.TraceOptions, []*sink, error) {
+	nd, err := newSink(prefix + ".ndjson")
+	if err != nil {
+		return nil, nil, err
+	}
+	ch, err := newSink(prefix + ".trace.json")
+	if err != nil {
+		nd.Close()
+		return nil, nil, err
+	}
+	return &nuba.TraceOptions{EpochCycles: epoch, Series: nd, Chrome: ch}, []*sink{nd, ch}, nil
+}
+
 // runOne simulates a single benchmark and prints the full statistics.
-func runOne(ctx context.Context, cfg nuba.Config, b nuba.Benchmark) error {
+func runOne(ctx context.Context, cfg nuba.Config, b nuba.Benchmark, tr traceArgs) error {
 	fmt.Printf("running %s (%s) on %s...\n", b.Abbr, b.Name, cfg.Name())
-	res, err := nuba.RunContext(ctx, cfg, b)
+	var topts *nuba.TraceOptions
+	var sinks []*sink
+	if tr.on {
+		var err error
+		topts, sinks, err = openTrace(tr.out, tr.epoch)
+		if err != nil {
+			return err
+		}
+	}
+	res, err := nuba.RunTraced(ctx, cfg, b, topts)
+	for _, s := range sinks {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -147,12 +213,53 @@ func runOne(ctx context.Context, cfg nuba.Config, b nuba.Benchmark) error {
 	}
 	fmt.Println()
 	fmt.Print(nuba.DetailTable(st))
+	if tr.on {
+		fmt.Println()
+		fmt.Printf("epoch trace:       %s\n", tr.out+".ndjson")
+		fmt.Printf("chrome trace:      %s (load in Perfetto or chrome://tracing)\n", tr.out+".trace.json")
+		chart, cerr := npbChart(tr.out + ".ndjson")
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Println()
+		fmt.Print(chart)
+	}
 	return nil
+}
+
+// npbChart re-reads an epoch trace and renders the Fig. 9-style
+// NPB-over-time curve as an ASCII line chart.
+func npbChart(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	chart := &nuba.LineChart{Title: "NPB over time (y: NPB, x: cycle)"}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Type  string  `json:"type"`
+			Cycle int64   `json:"cycle"`
+			NPB   float64 `json:"npb"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return "", fmt.Errorf("parse %s: %w", path, err)
+		}
+		if ev.Type == "epoch" {
+			chart.Add(float64(ev.Cycle), ev.NPB)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return chart.String(), nil
 }
 
 // runMany simulates the benchmarks across a worker pool and prints a
 // compact table in input order (independent of completion order).
-func runMany(ctx context.Context, cfg nuba.Config, benches []nuba.Benchmark, jobs int, verbose bool) error {
+func runMany(ctx context.Context, cfg nuba.Config, benches []nuba.Benchmark, jobs int, verbose bool, tr traceArgs) error {
 	fmt.Printf("running %d benchmarks on %s (%d workers)...\n", len(benches), cfg.Name(), nuba.RunOptions{Jobs: jobs}.Workers())
 	opts := nuba.RunOptions{Jobs: jobs}
 	if verbose {
@@ -161,9 +268,36 @@ func runMany(ctx context.Context, cfg nuba.Config, benches []nuba.Benchmark, job
 				ev.Done, ev.Total, ev.Benchmark, ev.Result.Stats.Cycles, ev.Elapsed.Round(1e8))
 		}
 	}
+	var (
+		sinkMu sync.Mutex
+		sinks  []*sink
+	)
+	if tr.on {
+		opts.Trace = func(b nuba.Benchmark) *nuba.TraceOptions {
+			topts, ss, err := openTrace(fmt.Sprintf("%s.%s", tr.out, b.Abbr), tr.epoch)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nubasim: %s untraced: %v\n", b.Abbr, err)
+				return nil
+			}
+			sinkMu.Lock()
+			sinks = append(sinks, ss...)
+			sinkMu.Unlock()
+			return topts
+		}
+	}
 	results, err := nuba.RunSuite(ctx, cfg, benches, opts)
+	sinkMu.Lock()
+	for _, s := range sinks {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	sinkMu.Unlock()
 	if err != nil {
 		return err
+	}
+	if tr.on {
+		fmt.Printf("per-benchmark traces under %s.<bench>.{ndjson,trace.json}\n", tr.out)
 	}
 	fmt.Printf("%-8s %-12s %-8s %-10s %-8s %-8s\n", "Bench", "Cycles", "IPC", "Replies/c", "L1miss", "Local")
 	for i, b := range benches {

@@ -21,6 +21,7 @@ import (
 	"github.com/nuba-gpu/nuba/internal/noc"
 	"github.com/nuba-gpu/nuba/internal/sim"
 	"github.com/nuba-gpu/nuba/internal/smcore"
+	"github.com/nuba-gpu/nuba/internal/trace"
 	"github.com/nuba-gpu/nuba/internal/vm"
 )
 
@@ -78,6 +79,11 @@ type GPU struct {
 	// migFillRetry holds SM-side fills that found the inter-half link
 	// saturated; retried every cycle.
 	migFillRetry []*sim.MemReq
+
+	// tracer, when non-nil, receives epoch samples and span events
+	// (AttachTracer); tr is the sampler's counter snapshot (trace.go).
+	tracer *trace.Tracer
+	tr     traceState
 }
 
 // New builds a GPU for the configuration.

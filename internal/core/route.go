@@ -91,6 +91,9 @@ func (g *GPU) recordPlacementAccess(req *sim.MemReq, part int) {
 	if req.IsWrite() && p.Replicas != nil {
 		g.drv.CollapseReplicas(p)
 		g.shootdown(vpn)
+		if g.tracer != nil {
+			g.tracer.ReplicaCollapse(g.cycle, vpn)
+		}
 	}
 	before := g.drv.Replications
 	g.drv.RecordAccess(p, part)
@@ -100,6 +103,9 @@ func (g *GPU) recordPlacementAccess(req *sim.MemReq, part int) {
 		g.stats.PageReplicas++
 		g.chargePageCopy(p.PPN, p.Replicas[part])
 		g.shootdown(vpn)
+		if g.tracer != nil {
+			g.tracer.PageReplication(g.cycle, vpn, part)
+		}
 	}
 }
 

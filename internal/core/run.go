@@ -23,6 +23,7 @@ func (g *GPU) RunKernelContext(ctx context.Context, l *kir.Launch) error {
 		return err
 	}
 	g.launchSeq++
+	start := g.cycle
 	if !g.cfg.ColdStart {
 		g.prewarm(l)
 	}
@@ -31,7 +32,13 @@ func (g *GPU) RunKernelContext(ctx context.Context, l *kir.Launch) error {
 		return err
 	}
 	g.kernelBoundaryFlush()
-	return g.runUntilIdle(ctx)
+	if err := g.runUntilIdle(ctx); err != nil {
+		return err
+	}
+	if g.tracer != nil {
+		g.tracer.KernelSpan(l.Kernel.Name, g.launchSeq, start, g.cycle)
+	}
+	return nil
 }
 
 // RunProgram executes a sequence of launches back-to-back (multi-kernel
@@ -50,6 +57,7 @@ func (g *GPU) RunProgramContext(ctx context.Context, launches []*kir.Launch) err
 			return fmt.Errorf("kernel %d (%s): %w", i, l.Kernel.Name, err)
 		}
 	}
+	g.traceFinish()
 	g.stats.Cycles = int64(g.cycle)
 	g.collect()
 	return nil
@@ -146,6 +154,11 @@ func (g *GPU) step() {
 		g.nextMigScan = now + g.cfg.MigrationInterval
 	}
 	g.drainMigQueue()
+
+	if g.tracer != nil && now >= g.tr.next {
+		g.traceSample(now)
+		g.tr.next = now + g.tracer.EpochCycles()
+	}
 }
 
 // retryFills re-attempts SM-side fills that found the inter-half link
@@ -171,6 +184,9 @@ func (g *GPU) runMigrationScan(now sim.Cycle) {
 		g.stats.PageMigrations++
 		g.shootdown(a.Page.VPN)
 		g.chargePageCopy(old, a.Page.PPN)
+		if g.tracer != nil {
+			g.tracer.PageMigration(now, a.Page.VPN, a.From, a.To)
+		}
 	}
 }
 

@@ -78,6 +78,9 @@ type Channel struct {
 	RowMisses  int64
 	BusyCycles int64
 	stallFull  int64
+	// groupBusy splits BusyCycles by the bank group that sourced the
+	// burst (the tracing layer's bank-group-pressure probe).
+	groupBusy []int64
 }
 
 // NewChannel returns channel id of the configuration.
@@ -103,8 +106,20 @@ func NewChannel(id int, cfg *config.Config, mapper *addrmap.Mapper) *Channel {
 		lastActAt:   -1,
 		lastCASAt:   -1,
 		lastWrEndAt: -1,
+		groupBusy:   make([]int64, groups),
 		completions: sim.NewQueue[completion](0),
 	}
+}
+
+// BankGroups returns the number of bank groups modeled.
+func (c *Channel) BankGroups() int { return c.numGroups }
+
+// GroupBusyCycles returns a copy of the per-bank-group data-bus busy
+// memory-cycle counters (they sum to BusyCycles).
+func (c *Channel) GroupBusyCycles() []int64 {
+	out := make([]int64, len(c.groupBusy))
+	copy(out, c.groupBusy)
+	return out
 }
 
 // groupOf returns the bank group of a bank index (consecutive split).
@@ -272,6 +287,7 @@ func (c *Channel) issueCAS(now int64, req *sim.MemReq, b *bank, g int, rowHit bo
 	end := start + c.burst
 	c.busFreeAt = end
 	c.BusyCycles += c.burst
+	c.groupBusy[g] += c.burst
 	c.lastCASAt = now
 	c.lastCASGroup = g
 	if rowHit {

@@ -191,6 +191,28 @@ func (d *Driver) Translate(vpn uint64, part int) (ppn uint64, ok bool) {
 	return p.PPN, true
 }
 
+// ChannelBalance returns each channel's page count normalized to the
+// fullest channel — the per-partition components of the NPB mean
+// (Equation 1). An empty system reports all ones, matching NPB's
+// balanced-by-definition convention.
+func (d *Driver) ChannelBalance() []float64 {
+	out := make([]float64, len(d.pagesPerChannel))
+	var maxP int64
+	for _, p := range d.pagesPerChannel {
+		if p > maxP {
+			maxP = p
+		}
+	}
+	for i, p := range d.pagesPerChannel {
+		if maxP == 0 {
+			out[i] = 1
+		} else {
+			out[i] = float64(p) / float64(maxP)
+		}
+	}
+	return out
+}
+
 // PageCounts returns a copy of the per-channel page counters.
 func (d *Driver) PageCounts() []int64 {
 	out := make([]int64, len(d.pagesPerChannel))

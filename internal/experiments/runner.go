@@ -43,6 +43,15 @@ type Options struct {
 	// OnEvent, when non-nil, receives a structured Event per completed
 	// run (run counts, elapsed time, ETA). Calls are serialized.
 	OnEvent func(Event)
+	// Trace, when non-nil, is consulted once per simulation and may
+	// return that run's trace sinks (docs/OBSERVABILITY.md); nil keeps
+	// the run untraced. It is called concurrently from the worker pool,
+	// so it must be safe for concurrent use and must hand each run its
+	// own writers. Tracing never enters the memo key: a (Config,
+	// Benchmark) pair shared by several figures still simulates exactly
+	// once (so Trace is consulted once for it), reports stay
+	// byte-identical for any Jobs value, and each run's trace is too.
+	Trace func(cfgName, bench string) *nuba.TraceOptions
 }
 
 // Runner executes experiments, memoizing runs shared between figures
@@ -162,7 +171,11 @@ func (r *Runner) runCtx(ctx context.Context, cfg nuba.Config, b workload.Benchma
 	r.markStarted()
 	r.mu.Unlock()
 
-	res, err := nuba.RunContext(ctx, cfg, b)
+	var topts *nuba.TraceOptions
+	if r.opts.Trace != nil {
+		topts = r.opts.Trace(cfg.Name(), b.Abbr)
+	}
+	res, err := nuba.RunTraced(ctx, cfg, b, topts)
 	if err != nil {
 		err = fmt.Errorf("%s on %s: %w", b.Abbr, cfg.Name(), err)
 	}

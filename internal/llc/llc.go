@@ -101,6 +101,11 @@ func New(id, part int, cfg *config.Config, stats *metrics.Stats) *Slice {
 // Tags exposes the tag array (flushes, tests, occupancy probes).
 func (s *Slice) Tags() *cache.Cache { return s.tags }
 
+// QueueDepths returns the instantaneous LMR and RMR queue lengths — the
+// Figure 5 queue-occupancy probe the tracing layer samples at epoch
+// boundaries.
+func (s *Slice) QueueDepths() (lmr, rmr int) { return s.lmr.Len(), s.rmr.Len() }
+
 // EnqueueLocal offers a request to the LMR queue.
 func (s *Slice) EnqueueLocal(req *sim.MemReq) bool { return s.lmr.Push(req) }
 

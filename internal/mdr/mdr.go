@@ -257,6 +257,27 @@ type Controller struct {
 	// Decisions/EpochsReplicating mirror the metrics counters for tests.
 	Decisions         int64
 	EpochsReplicating int64
+
+	// OnDecision, when non-nil, is invoked at every epoch boundary with
+	// the evaluation the controller just performed — the tracing layer's
+	// probe. The callback must not mutate controller state.
+	OnDecision func(DecisionEvent)
+}
+
+// DecisionEvent describes one epoch-boundary model evaluation.
+type DecisionEvent struct {
+	Now         sim.Cycle
+	Epoch       int64 // decision ordinal (1-based)
+	Replicating bool  // mode that ruled the ending epoch
+	Next        bool  // decision for the next epoch
+	Held        bool  // too few profile samples: prior decision kept
+
+	// PredNoRep/PredFullRep are the two model outputs in bytes per core
+	// cycle and ApplyAt the cycle Next takes effect (after the 116-cycle
+	// evaluation delay); all three are meaningful only when !Held.
+	PredNoRep   float64
+	PredFullRep float64
+	ApplyAt     sim.Cycle
 }
 
 // NewController returns the MDR controller. The initial decision is to
@@ -297,11 +318,22 @@ func (c *Controller) Tick(now sim.Cycle) {
 		c.EpochsReplicating++
 		c.stats.MDREpochsReplicating++
 	}
+	ev := DecisionEvent{Now: now, Epoch: c.Decisions, Replicating: c.replicate}
 	if !snap.HaveSamples {
-		return // not enough profile data: keep the current decision
+		// Not enough profile data: keep the current decision.
+		ev.Held = true
+		ev.Next = c.replicate
+		if c.OnDecision != nil {
+			c.OnDecision(ev)
+		}
+		return
 	}
 	noRep := ModelNoRep(c.bw, snap.HitNoRep, snap.FracLocalNoRep, snap.FracRemoteNoRep)
 	fullRep := ModelFullRep(c.bw, snap.HitFullRep, snap.FracLocalFullRep, snap.FracRemoteFullRep)
 	c.nextDecision = fullRep > noRep
 	c.applyAt = now + c.cfg.MDREvalDelay
+	ev.Next, ev.PredNoRep, ev.PredFullRep, ev.ApplyAt = c.nextDecision, noRep, fullRep, c.applyAt
+	if c.OnDecision != nil {
+		c.OnDecision(ev)
+	}
 }

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// A flat series used to divide by a zero y range, turning every axis
+// label into NaN; it must instead sit on the middle row with the
+// constant labeled.
+func TestLineChartFlatSeries(t *testing.T) {
+	c := LineChart{Title: "flat", Width: 16, Height: 5}
+	for i := 0; i < 8; i++ {
+		c.Add(float64(i*1000), 0.9981)
+	}
+	out := c.String()
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("flat series rendered NaN labels:\n%s", out)
+	}
+	if got := strings.Count(out, "0.9981"); got != 3 {
+		t.Fatalf("want the constant on all 3 axis ticks, got %d:\n%s", got, out)
+	}
+	lines := strings.Split(out, "\n")
+	// Title, then 5 grid rows; the dots must all be on the middle row.
+	for i, row := range lines[1 : 1+5] {
+		hasDot := strings.Contains(row, "*")
+		if wantDot := i == 2; hasDot != wantDot {
+			t.Fatalf("row %d: dot=%v, want %v:\n%s", i, hasDot, wantDot, out)
+		}
+	}
+}
+
+func TestLineChartSingleSample(t *testing.T) {
+	c := LineChart{Height: 4}
+	c.Add(5, 42)
+	out := c.String()
+	if strings.Contains(out, "NaN") || !strings.Contains(out, "42") {
+		t.Fatalf("single sample mis-rendered:\n%s", out)
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	c := LineChart{Title: "empty"}
+	if got := c.String(); got != "empty (no data)\n" {
+		t.Fatalf("empty chart = %q", got)
+	}
+}
+
+func TestLineChartSlope(t *testing.T) {
+	c := LineChart{Width: 10, Height: 5}
+	for i := 0; i <= 10; i++ {
+		c.Add(float64(i), float64(i))
+	}
+	out := c.String()
+	lines := strings.Split(out, "\n")
+	top, bottom := lines[0], lines[4]
+	// Max y (10) top-right, min y (0) bottom-left; labels on both.
+	if !strings.HasSuffix(strings.TrimRight(top, " "), "*") || !strings.Contains(top, "10") {
+		t.Fatalf("top row wrong: %q\n%s", top, out)
+	}
+	if !strings.Contains(bottom, "|*") || !strings.Contains(bottom, "0") {
+		t.Fatalf("bottom row wrong: %q\n%s", bottom, out)
+	}
+}

@@ -176,6 +176,16 @@ func (x *Crossbar) Peek(port int, now sim.Cycle) (Msg, bool) {
 	return x.out[port].Peek(now)
 }
 
+// Occupancy returns the number of messages buffered at the input stage
+// — the congestion probe the tracing layer samples at epoch boundaries.
+func (x *Crossbar) Occupancy() int {
+	n := 0
+	for i := range x.in {
+		n += x.in[i].q.Len()
+	}
+	return n
+}
+
 // Pending reports whether any message is buffered or in flight.
 func (x *Crossbar) Pending() bool {
 	for i := range x.in {

@@ -36,6 +36,7 @@ import (
 	"github.com/nuba-gpu/nuba/internal/energy"
 	"github.com/nuba-gpu/nuba/internal/kir"
 	"github.com/nuba-gpu/nuba/internal/metrics"
+	"github.com/nuba-gpu/nuba/internal/trace"
 	"github.com/nuba-gpu/nuba/internal/workload"
 )
 
@@ -68,6 +69,13 @@ type (
 	EnergyBreakdown = energy.Breakdown
 	// SharingHistogram is the Figure 3 page-sharing data of a run.
 	SharingHistogram = metrics.SharingHistogram
+	// TraceOptions select the observability sinks of a traced run: an
+	// NDJSON epoch time series and/or a Chrome trace_event JSON export.
+	// The emitted schema is documented in docs/OBSERVABILITY.md.
+	TraceOptions = trace.Options
+	// LineChart is the ASCII time-series chart (for plotting epoch
+	// traces, e.g. NPB over time).
+	LineChart = metrics.LineChart
 )
 
 // Architectures.
@@ -165,7 +173,17 @@ func Run(cfg Config, b Benchmark) (*Result, error) {
 // RunContext is Run under a context: a long simulation stops promptly
 // once ctx is canceled and returns an error wrapping ctx.Err().
 func RunContext(ctx context.Context, cfg Config, b Benchmark) (*Result, error) {
-	return execute(ctx, cfg, func(g *System) ([]*Launch, error) { return b.Build(g.NewBuffer) })
+	return RunTraced(ctx, cfg, b, nil)
+}
+
+// RunTraced is RunContext with tracing attached: the run emits the
+// epoch time series and/or Chrome trace selected by topts (see
+// docs/OBSERVABILITY.md for the schema). A nil topts — or one with no
+// sink — runs untraced; tracing is passive, so the simulated cycles are
+// identical either way. The caller owns the sink writers; RunTraced
+// finishes the streams but does not close files.
+func RunTraced(ctx context.Context, cfg Config, b Benchmark, topts *TraceOptions) (*Result, error) {
+	return execute(ctx, cfg, func(g *System) ([]*Launch, error) { return b.Build(g.NewBuffer) }, topts, b.Abbr)
 }
 
 // RunLaunches runs caller-constructed launches on a fresh system (the
@@ -177,23 +195,42 @@ func RunLaunches(cfg Config, build func(sys *System) ([]*Launch, error)) (*Resul
 
 // RunLaunchesContext is RunLaunches under a context.
 func RunLaunchesContext(ctx context.Context, cfg Config, build func(sys *System) ([]*Launch, error)) (*Result, error) {
-	return execute(ctx, cfg, build)
+	return execute(ctx, cfg, build, nil, "custom")
 }
 
 // execute is the single execution path behind every Run* entry point:
-// assemble a system, build the launches into its address space, run them
-// under the context and bundle the measurements.
-func execute(ctx context.Context, cfg Config, build func(sys *System) ([]*Launch, error)) (*Result, error) {
+// assemble a system, attach tracing when requested, build the launches
+// into the address space, run them under the context and bundle the
+// measurements. Trace sinks deliberately live outside Config so traced
+// and untraced runs share config fingerprints (the experiment engine's
+// memo key) and simulate identically.
+func execute(ctx context.Context, cfg Config, build func(sys *System) ([]*Launch, error), topts *TraceOptions, label string) (*Result, error) {
 	g, err := core.New(cfg)
 	if err != nil {
 		return nil, err
+	}
+	var tr *trace.Tracer
+	if topts != nil && topts.Enabled() {
+		o := *topts
+		if o.EpochCycles <= 0 {
+			o.EpochCycles = cfg.MDREpoch
+		}
+		tr = trace.New(o, cfg.CoreClockGHz)
+		tr.Begin(trace.Meta{Bench: label, Config: cfg.Name(), Partitions: cfg.NumPartitions()})
+		g.AttachTracer(tr)
 	}
 	launches, err := build(g)
 	if err != nil {
 		return nil, err
 	}
-	if err := g.RunProgramContext(ctx, launches); err != nil {
-		return nil, err
+	runErr := g.RunProgramContext(ctx, launches)
+	if tr != nil {
+		if cerr := tr.Close(); cerr != nil && runErr == nil {
+			runErr = fmt.Errorf("trace sink: %w", cerr)
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	bd := g.EnergyBreakdown(energy.DefaultParams())
 	return &Result{Stats: g.Stats(), Energy: bd, Sharing: g.Sharing(), System: g}, nil
@@ -224,6 +261,14 @@ type RunOptions struct {
 	// are serialized (never concurrent) but arrive in completion order,
 	// which under Jobs > 1 need not be input order.
 	Progress func(RunEvent)
+	// Trace, when non-nil, is consulted once per benchmark before its
+	// run starts and may return that run's trace sinks (nil keeps the
+	// run untraced). It is called concurrently from the worker pool, so
+	// it must be safe for concurrent use and must hand each run its own
+	// writers. Per-run traces are byte-identical for any Jobs value:
+	// each simulation is deterministic in isolation and never shares a
+	// sink.
+	Trace func(b Benchmark) *TraceOptions
 }
 
 // Workers returns the effective worker-pool size.
@@ -265,7 +310,11 @@ func RunSuite(ctx context.Context, cfg Config, benchmarks []Benchmark, opts RunO
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				res, err := RunContext(ctx, cfg, benchmarks[i])
+				var topts *TraceOptions
+				if opts.Trace != nil {
+					topts = opts.Trace(benchmarks[i])
+				}
+				res, err := RunTraced(ctx, cfg, benchmarks[i], topts)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
