@@ -1,8 +1,9 @@
 # Convenience targets; `make check` mirrors CI.
 
 GO ?= go
+BENCH_OUT ?= BENCH_6.json
 
-.PHONY: build vet lint fmt-check docs-check test test-short race check clean
+.PHONY: build vet lint fmt-check docs-check test test-short race bench check clean
 
 build:
 	$(GO) build ./...
@@ -30,6 +31,12 @@ test-short:
 
 race:
 	$(GO) test -race -timeout 30m ./internal/experiments/... ./internal/lint/...
+
+# The committed perf trajectory: run the engine-throughput benches and
+# regenerate $(BENCH_OUT) (schema in docs/PERF.md).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineThroughput' -benchmem -count 1 . \
+		| $(GO) run ./cmd/nubabench -o $(BENCH_OUT)
 
 check: vet build lint fmt-check docs-check test race
 

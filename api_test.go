@@ -16,7 +16,7 @@ func TestSmokeAllArchitectures(t *testing.T) {
 	}
 	for _, cfg := range []Config{Baseline(), SMSideConfig(), NUBAConfig()} {
 		cfg := cfg.Scale(0.25)
-		res, err := Run(cfg, bench)
+		res, err := Run(context.Background(), cfg, bench)
 		if err != nil {
 			t.Fatalf("%s: %v", cfg.Name(), err)
 		}
@@ -160,10 +160,9 @@ func TestRunSuiteMatchesRun(t *testing.T) {
 	cfg := NUBAConfig().Scale(0.125)
 
 	var events int
-	results, err := RunSuite(context.Background(), cfg, benches, RunOptions{
-		Jobs:     4,
-		Progress: func(RunEvent) { events++ },
-	})
+	results, err := RunSuite(context.Background(), cfg, benches,
+		WithWorkers(4),
+		WithProgress(func(RunEvent) { events++ }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +170,7 @@ func TestRunSuiteMatchesRun(t *testing.T) {
 		t.Fatalf("got %d results, %d events for %d benchmarks", len(results), events, len(benches))
 	}
 	for i, b := range benches {
-		serial, err := Run(cfg, b)
+		serial, err := Run(context.Background(), cfg, b)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,8 +190,53 @@ func TestRunSuiteCancellation(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := RunSuite(ctx, NUBAConfig().Scale(0.125), []Benchmark{b, b}, RunOptions{Jobs: 2}); !errors.Is(err, context.Canceled) {
+	if _, err := RunSuite(ctx, NUBAConfig().Scale(0.125), []Benchmark{b, b}, WithWorkers(2)); !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestRunSuiteRejectsSingleRunOptions: WithTrace and WithLaunches make no
+// sense across a concurrent batch and must be rejected up front.
+func TestRunSuiteRejectsSingleRunOptions(t *testing.T) {
+	b, err := BenchmarkByAbbr("BP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := RunSuite(ctx, NUBAConfig(), []Benchmark{b}, WithTrace(&TraceOptions{})); err == nil {
+		t.Fatal("RunSuite accepted WithTrace")
+	}
+	if _, err := RunSuite(ctx, NUBAConfig(), []Benchmark{b},
+		WithLaunches(func(*System) ([]*Launch, error) { return nil, nil })); err == nil {
+		t.Fatal("RunSuite accepted WithLaunches")
+	}
+}
+
+// TestDeprecatedWrappersDelegate: the pre-unification entry points must
+// remain thin shims over the unified Run, producing identical results.
+func TestDeprecatedWrappersDelegate(t *testing.T) {
+	bench, err := BenchmarkByAbbr("BP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NUBAConfig().Scale(0.125)
+	ctx := context.Background()
+	unified, err := Run(ctx, cfg, bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaContext, err := RunContext(ctx, cfg, bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaTraced, err := RunTraced(ctx, cfg, bench, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range map[string]*Result{"RunContext": viaContext, "RunTraced": viaTraced} {
+		if res.Stats.Cycles != unified.Stats.Cycles {
+			t.Errorf("%s: %d cycles, unified Run %d", name, res.Stats.Cycles, unified.Stats.Cycles)
+		}
 	}
 }
 

@@ -8,12 +8,16 @@ package nuba_test
 //	go test -bench=. -benchmem
 //
 // reproduces the whole evaluation in miniature. To keep the default bench
-// run tractable, benches use a 16-SM (0.25x) GPU and a six-benchmark
-// core subset; run cmd/nubasweep or cmd/nubareport for the full-scale
-// 64-SM, 29-benchmark numbers. Set NUBA_BENCH_FULL=1 to run the benches
-// at full scale instead.
+// run tractable, benches use a 16-SM (0.25x) GPU and a three-benchmark
+// core subset — LBM (streaming, low-sharing), AN (compute-dense stencil)
+// and BT (high-sharing irregular tree), one representative per workload
+// class; run cmd/nubasweep or cmd/nubareport for the full-scale 64-SM,
+// 29-benchmark numbers. Setting the environment variable NUBA_BENCH_FULL=1
+// (any non-empty value) switches the benches to the full-scale 64-SM GPU
+// while keeping the three-benchmark subset.
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -120,11 +124,115 @@ func BenchmarkSingleRunNUBA(b *testing.B) {
 	cfg := nuba.NUBAConfig().Scale(0.25)
 	var cycles int64
 	for i := 0; i < b.N; i++ {
-		res, err := nuba.Run(cfg, bench)
+		res, err := nuba.Run(context.Background(), cfg, bench)
 		if err != nil {
 			b.Fatal(err)
 		}
 		cycles = res.Stats.Cycles
 	}
 	b.ReportMetric(float64(cycles), "simcycles/run")
+}
+
+// sparseSrc is the idle-heavy showcase kernel: a latency-bound chain of
+// thread-invariant cold loads — one uncached line per iteration, the
+// next iteration serialized behind the reply by the load-to-use
+// dependency on r7 — so each warp sleeps through a full memory round
+// trip per iteration. Launched as two 32-thread CTAs it leaves all but
+// two SMs without work — the regime the idle-skip engine exists for (a
+// small kernel on a big configured GPU, the shape of most design-space
+// sweep jobs), where the naive loop still ticks every component every
+// cycle.
+const sparseSrc = `
+.kernel sparse
+.param .ptr A
+.param .u64 k
+.param .u64 n
+  mov r1, %ctaid
+  mov r4, 0
+  mov r5, 0
+loop:
+  mad r6, r4, n, r1
+  shl r6, r6, 7
+  ld.global.u64 r7, [A + r6]
+  add r5, r5, r7
+  add r4, r4, 1
+  setp.lt p0, r4, k
+  @p0 bra loop
+  shl r8, r1, 3
+  st.global.u64 [A + r8], r5
+  exit
+`
+
+// sparseLaunch builds the SPARSE workload: grid 32-thread CTAs, k
+// dependent 128 B-strided cold loads per CTA.
+func sparseLaunch(kernel *nuba.Kernel, grid, iters int) func(sys *nuba.System) ([]*nuba.Launch, error) {
+	return func(sys *nuba.System) ([]*nuba.Launch, error) {
+		size := uint64(iters) * uint64(grid) * 128
+		l := &nuba.Launch{
+			Kernel:     kernel,
+			GridDim:    grid,
+			CTAThreads: 32,
+			Scalars:    []int64{int64(iters), int64(grid)},
+			Buffers:    []nuba.Binding{{Base: sys.NewBuffer(size), Size: size}},
+		}
+		return []*nuba.Launch{l}, nil
+	}
+}
+
+// BenchmarkEngineThroughput measures raw simulator throughput — the
+// committed perf trajectory behind BENCH_<n>.json (see docs/PERF.md).
+// One sub-benchmark per (workload, engine) pair: the three-benchmark
+// core subset plus SPARSE, the synthetic low-occupancy workload above;
+// cmd/nubabench turns the emitted metrics into ns/simulated-cycle and
+// simulated-cycles-per-second, so the naive/hybrid ratio is the
+// idle-skip engine's speedup on that workload.
+func BenchmarkEngineThroughput(b *testing.B) {
+	scale := 0.25
+	if os.Getenv("NUBA_BENCH_FULL") != "" {
+		scale = 1
+	}
+	engines := []nuba.Engine{nuba.EngineHybrid, nuba.EngineNaive}
+	for _, abbr := range []string{"LBM", "AN", "BT"} {
+		bench, err := nuba.BenchmarkByAbbr(abbr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, engine := range engines {
+			b.Run(abbr+"/"+engine.String(), func(b *testing.B) {
+				cfg := nuba.NUBAConfig().Scale(scale)
+				var cycles, instrs int64
+				for i := 0; i < b.N; i++ {
+					res, err := nuba.Run(context.Background(), cfg, bench, nuba.WithEngine(engine))
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = res.Stats.Cycles
+					instrs = res.Stats.Instructions
+				}
+				b.ReportMetric(float64(cycles), "simcycles/run")
+				b.ReportMetric(float64(instrs), "siminstrs/run")
+			})
+		}
+	}
+	sparse, err := nuba.ParseKernel(sparseSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, engine := range engines {
+		b.Run("SPARSE/"+engine.String(), func(b *testing.B) {
+			cfg := nuba.NUBAConfig().Scale(scale)
+			var cycles, instrs int64
+			for i := 0; i < b.N; i++ {
+				res, err := nuba.Run(context.Background(), cfg, nuba.Benchmark{},
+					nuba.WithEngine(engine), nuba.WithLaunches(sparseLaunch(sparse, 2, 512)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Stats.Cycles
+				instrs = res.Stats.Instructions
+			}
+			b.ReportMetric(float64(cycles), "simcycles/run")
+			b.ReportMetric(float64(instrs), "siminstrs/run")
+		})
+	}
 }

@@ -32,15 +32,16 @@ import (
 // externalFlags are flags the docs legitimately mention that belong to
 // external tooling, not to a cmd/* binary.
 var externalFlags = map[string]bool{
-	"race":     true, // go test -race
-	"bench":    true, // go test -bench (also a nubasim flag)
-	"benchmem": true, // go test -benchmem
-	"short":    true, // go test -short
-	"run":      true, // go test -run
-	"count":    true, // go test -count
-	"timeout":  true, // go test -timeout
-	"l":        true, // gofmt -l
-	"r":        true, // jq -r
+	"race":      true, // go test -race
+	"bench":     true, // go test -bench (also a nubasim flag)
+	"benchmem":  true, // go test -benchmem
+	"benchtime": true, // go test -benchtime
+	"short":     true, // go test -short
+	"run":       true, // go test -run
+	"count":     true, // go test -count
+	"timeout":   true, // go test -timeout
+	"l":         true, // gofmt -l
+	"r":         true, // jq -r
 }
 
 func main() {

@@ -31,9 +31,15 @@ func main() {
 	skip := flag.String("skip", "", "comma-separated experiments to skip")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "simulations to run in parallel (1 = serial)")
 	verbose := flag.Bool("v", false, "per-run progress on stderr")
+	engineFlag := flag.String("engine", "hybrid", "cycle-loop engine: hybrid | naive (cycle-exact; differ only in speed)")
 	flag.Parse()
 
-	opts := experiments.Options{Scale: *scale, Jobs: *jobs}
+	engine, err := nuba.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nubareport:", err)
+		os.Exit(2)
+	}
+	opts := experiments.Options{Scale: *scale, Jobs: *jobs, Engine: engine}
 	if *verbose {
 		opts.OnEvent = func(ev experiments.Event) {
 			line := fmt.Sprintf("  [%d/%d] %-7s on %-28s cycles=%-9d elapsed=%s",

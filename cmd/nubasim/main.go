@@ -41,7 +41,14 @@ func main() {
 	traceOn := flag.Bool("trace", false, "emit an NDJSON epoch trace and a Chrome trace (docs/OBSERVABILITY.md)")
 	traceOut := flag.String("trace-out", "trace", "trace output path prefix; writes <prefix>.ndjson and <prefix>.trace.json (multi-benchmark runs insert the benchmark abbreviation)")
 	traceEpoch := flag.Int64("trace-epoch", 0, "trace sampling interval in cycles (0 = the config's MDR epoch)")
+	engineFlag := flag.String("engine", "hybrid", "cycle-loop engine: hybrid | naive (cycle-exact; differ only in speed)")
 	flag.Parse()
+
+	engine, err := nuba.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nubasim:", err)
+		os.Exit(2)
+	}
 
 	var cfg nuba.Config
 	switch strings.ToLower(*arch) {
@@ -107,11 +114,10 @@ func main() {
 	defer stop()
 
 	tr := traceArgs{on: *traceOn, out: *traceOut, epoch: *traceEpoch}
-	var err error
 	if len(benches) == 1 {
-		err = runOne(ctx, cfg, benches[0], tr)
+		err = runOne(ctx, cfg, benches[0], tr, engine)
 	} else {
-		err = runMany(ctx, cfg, benches, *jobs, *verbose, tr)
+		err = runMany(ctx, cfg, benches, *jobs, *verbose, tr, engine)
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -169,7 +175,7 @@ func openTrace(prefix string, epoch int64) (*nuba.TraceOptions, []*sink, error) 
 }
 
 // runOne simulates a single benchmark and prints the full statistics.
-func runOne(ctx context.Context, cfg nuba.Config, b nuba.Benchmark, tr traceArgs) error {
+func runOne(ctx context.Context, cfg nuba.Config, b nuba.Benchmark, tr traceArgs, engine nuba.Engine) error {
 	fmt.Printf("running %s (%s) on %s...\n", b.Abbr, b.Name, cfg.Name())
 	var topts *nuba.TraceOptions
 	var sinks []*sink
@@ -180,7 +186,7 @@ func runOne(ctx context.Context, cfg nuba.Config, b nuba.Benchmark, tr traceArgs
 			return err
 		}
 	}
-	res, err := nuba.RunTraced(ctx, cfg, b, topts)
+	res, err := nuba.Run(ctx, cfg, b, nuba.WithTrace(topts), nuba.WithEngine(engine))
 	for _, s := range sinks {
 		if cerr := s.Close(); cerr != nil && err == nil {
 			err = cerr
@@ -259,21 +265,25 @@ func npbChart(path string) (string, error) {
 
 // runMany simulates the benchmarks across a worker pool and prints a
 // compact table in input order (independent of completion order).
-func runMany(ctx context.Context, cfg nuba.Config, benches []nuba.Benchmark, jobs int, verbose bool, tr traceArgs) error {
-	fmt.Printf("running %d benchmarks on %s (%d workers)...\n", len(benches), cfg.Name(), nuba.RunOptions{Jobs: jobs}.Workers())
-	opts := nuba.RunOptions{Jobs: jobs}
+func runMany(ctx context.Context, cfg nuba.Config, benches []nuba.Benchmark, jobs int, verbose bool, tr traceArgs, engine nuba.Engine) error {
+	workers := jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("running %d benchmarks on %s (%d workers)...\n", len(benches), cfg.Name(), workers)
+	opts := []nuba.RunOption{nuba.WithWorkers(jobs), nuba.WithEngine(engine)}
 	if verbose {
-		opts.Progress = func(ev nuba.RunEvent) {
+		opts = append(opts, nuba.WithProgress(func(ev nuba.RunEvent) {
 			fmt.Fprintf(os.Stderr, "  [%d/%d] %-7s cycles=%-9d elapsed=%s\n",
 				ev.Done, ev.Total, ev.Benchmark, ev.Result.Stats.Cycles, ev.Elapsed.Round(1e8))
-		}
+		}))
 	}
 	var (
 		sinkMu sync.Mutex
 		sinks  []*sink
 	)
 	if tr.on {
-		opts.Trace = func(b nuba.Benchmark) *nuba.TraceOptions {
+		opts = append(opts, nuba.WithBenchTrace(func(b nuba.Benchmark) *nuba.TraceOptions {
 			topts, ss, err := openTrace(fmt.Sprintf("%s.%s", tr.out, b.Abbr), tr.epoch)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "nubasim: %s untraced: %v\n", b.Abbr, err)
@@ -283,9 +293,9 @@ func runMany(ctx context.Context, cfg nuba.Config, benches []nuba.Benchmark, job
 			sinks = append(sinks, ss...)
 			sinkMu.Unlock()
 			return topts
-		}
+		}))
 	}
-	results, err := nuba.RunSuite(ctx, cfg, benches, opts)
+	results, err := nuba.RunSuite(ctx, cfg, benches, opts...)
 	sinkMu.Lock()
 	for _, s := range sinks {
 		if cerr := s.Close(); cerr != nil && err == nil {

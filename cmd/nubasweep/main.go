@@ -43,7 +43,14 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "simulations to run in parallel (1 = serial)")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	list := flag.Bool("list", false, "list experiments and benchmarks")
+	engineFlag := flag.String("engine", "hybrid", "cycle-loop engine: hybrid | naive (cycle-exact; differ only in speed)")
 	flag.Parse()
+
+	engine, err := nuba.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nubasweep:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println("experiments:")
@@ -64,7 +71,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nubasweep: -exp required (or -list)")
 		os.Exit(2)
 	}
-	opts := experiments.Options{Scale: *scale, Jobs: *jobs}
+	opts := experiments.Options{Scale: *scale, Jobs: *jobs, Engine: engine}
 	if *verbose {
 		opts.OnEvent = progressPrinter(os.Stderr)
 	}

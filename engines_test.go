@@ -1,0 +1,187 @@
+package nuba
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/nuba-gpu/nuba/internal/core"
+	"github.com/nuba-gpu/nuba/internal/trace"
+)
+
+// The tentpole guarantee of the idle-skip engine: the hybrid engine is
+// byte-identical to the serial naive reference. Two tests split the
+// guarantee so the whole thing fits a `go test ./...` budget:
+//
+//   - TestEnginesByteIdenticalAcrossSuite covers every benchmark in the
+//     Table 2 suite under a hard cycle cap. Cycle-exact engines must
+//     agree on the complete machine state at every cycle, so agreement
+//     over the first 256 Ki cycles of all 29 workloads — stats, streamed
+//     epoch traces and the capped-or-drained outcome itself — is checked
+//     without paying for the multi-hundred-M-cycle tails some workloads
+//     grow at the test's 0.125 scale (NW alone exceeds the 80 M-cycle
+//     safety limit there).
+//   - TestEnginesByteIdenticalFullRuns runs a cheap subset to natural
+//     completion through the public RunSuite path, covering the
+//     kernel-boundary flush, the final drain and the finished NDJSON +
+//     Chrome trace streams that a capped run never reaches.
+//
+// Any hint that is not conservative shows up as a diverging counter, a
+// diverging trace byte, or one engine draining where the other hits the
+// cap.
+
+// cappedCapture is everything observable from one capped engine run.
+type cappedCapture struct {
+	report  string
+	series  []byte
+	outcome string // "drained" or the run error text
+}
+
+// runCapped executes b on cfg under engine e, tolerating (and recording)
+// the MaxCycles error a capped run ends in. It drives internal/core
+// directly because the public Run returns no Result for a capped run,
+// while the cross-engine comparison needs the stats snapshot either way.
+func runCapped(t *testing.T, cfg Config, b Benchmark, e Engine) cappedCapture {
+	t.Helper()
+	g, err := core.New(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", b.Abbr, err)
+	}
+	g.SetEngine(e)
+	var series bytes.Buffer
+	tr := trace.New(trace.Options{Series: &series, EpochCycles: 10_000}, cfg.CoreClockGHz)
+	tr.Begin(trace.Meta{Bench: b.Abbr, Config: cfg.Name(), Partitions: cfg.NumPartitions()})
+	g.AttachTracer(tr)
+	launches, err := b.Build(g.NewBuffer)
+	if err != nil {
+		t.Fatalf("%s: build: %v", b.Abbr, err)
+	}
+	outcome := "drained"
+	if err := g.RunProgramContext(context.Background(), launches); err != nil {
+		if !strings.Contains(err.Error(), "exceeded MaxCycles") {
+			t.Fatalf("%s: %v engine: unexpected error: %v", b.Abbr, e, err)
+		}
+		outcome = err.Error()
+	}
+	st := g.Stats()
+	return cappedCapture{
+		// The full counter struct plus the rendered deep-dive table is
+		// the "report": every byte the CLIs derive their output from.
+		report:  fmt.Sprintf("%+v\n%s", *st, DetailTable(st)),
+		series:  series.Bytes(),
+		outcome: outcome,
+	}
+}
+
+func TestEnginesByteIdenticalAcrossSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed; runs every benchmark twice")
+	}
+	cfg := NUBAConfig().Scale(0.125)
+	// A multiple of both the 64-cycle batch and MemClockDiv, far enough
+	// to reach steady state on every workload yet bounded in wall time.
+	cfg.MaxCycles = 256 * 1024
+
+	var drained, capped int
+	for _, b := range Suite() {
+		naive := runCapped(t, cfg, b, EngineNaive)
+		hybrid := runCapped(t, cfg, b, EngineHybrid)
+		if naive.outcome != hybrid.outcome {
+			t.Errorf("%s: outcomes diverge\nnaive:  %s\nhybrid: %s", b.Abbr, naive.outcome, hybrid.outcome)
+		}
+		if naive.report != hybrid.report {
+			t.Errorf("%s: reports diverge between engines\nnaive:  %s\nhybrid: %s",
+				b.Abbr, naive.report, hybrid.report)
+		}
+		if !bytes.Equal(naive.series, hybrid.series) {
+			t.Errorf("%s: NDJSON epoch traces diverge between engines", b.Abbr)
+		}
+		if len(naive.series) == 0 {
+			t.Errorf("%s: empty trace — comparison is vacuous", b.Abbr)
+		}
+		if naive.outcome == "drained" {
+			drained++
+		} else {
+			capped++
+		}
+	}
+	// The suite must exercise both endings: full drains (flush + final
+	// quiescence) and cap hits (clamped batch, error path).
+	if drained == 0 || capped == 0 {
+		t.Errorf("unbalanced coverage: %d drained, %d capped — adjust MaxCycles", drained, capped)
+	}
+}
+
+// fullRunSubset is one representative per cheap workload class, kept
+// under ~1 s each so both engines complete naturally in test budget:
+// wavelet stencil, irregular tree, decomposition, RNN, CNN, matvec.
+var fullRunSubset = []string{"DWT2D", "BH", "LEU", "GRU", "SN", "MVT"}
+
+func TestEnginesByteIdenticalFullRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed; runs the subset twice to completion")
+	}
+	cfg := NUBAConfig().Scale(0.125)
+	benches := make([]Benchmark, 0, len(fullRunSubset))
+	for _, abbr := range fullRunSubset {
+		b, err := BenchmarkByAbbr(abbr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		benches = append(benches, b)
+	}
+
+	type capture struct {
+		report string
+		series []byte
+		chrome []byte
+	}
+	runAll := func(e Engine) []capture {
+		t.Helper()
+		type sinks struct{ series, chrome bytes.Buffer }
+		byIdx := make([]sinks, len(benches))
+		results, err := RunSuite(context.Background(), cfg, benches,
+			WithEngine(e),
+			WithBenchTrace(func(b Benchmark) *TraceOptions {
+				for i := range benches {
+					if benches[i].Abbr == b.Abbr {
+						return &TraceOptions{Series: &byIdx[i].series, Chrome: &byIdx[i].chrome}
+					}
+				}
+				t.Errorf("unknown benchmark %s", b.Abbr)
+				return nil
+			}))
+		if err != nil {
+			t.Fatalf("%v engine: %v", e, err)
+		}
+		caps := make([]capture, len(benches))
+		for i, res := range results {
+			caps[i] = capture{
+				report: fmt.Sprintf("%+v\n%s", *res.Stats, DetailTable(res.Stats)),
+				series: byIdx[i].series.Bytes(),
+				chrome: byIdx[i].chrome.Bytes(),
+			}
+		}
+		return caps
+	}
+
+	naive := runAll(EngineNaive)
+	hybrid := runAll(EngineHybrid)
+	for i, b := range benches {
+		if naive[i].report != hybrid[i].report {
+			t.Errorf("%s: reports diverge between engines\nnaive:  %s\nhybrid: %s",
+				b.Abbr, naive[i].report, hybrid[i].report)
+		}
+		if !bytes.Equal(naive[i].series, hybrid[i].series) {
+			t.Errorf("%s: NDJSON epoch traces diverge between engines", b.Abbr)
+		}
+		if !bytes.Equal(naive[i].chrome, hybrid[i].chrome) {
+			t.Errorf("%s: Chrome traces diverge between engines", b.Abbr)
+		}
+		if len(naive[i].series) == 0 || len(naive[i].chrome) == 0 {
+			t.Errorf("%s: empty trace — comparison is vacuous", b.Abbr)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -25,7 +26,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := nuba.Run(nuba.Baseline().Scale(0.5), b)
+		res, err := nuba.Run(context.Background(), nuba.Baseline().Scale(0.5), b)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -42,7 +43,7 @@ func main() {
 			prod, power := 1.0, 0.0
 			for _, abbr := range benches {
 				b, _ := nuba.BenchmarkByAbbr(abbr)
-				res, err := nuba.Run(cfg, b)
+				res, err := nuba.Run(context.Background(), cfg, b)
 				if err != nil {
 					log.Fatal(err)
 				}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,7 @@ func main() {
 			case 2:
 				cfg.Placement = nuba.LAB
 			}
-			res, err := nuba.Run(cfg, bench)
+			res, err := nuba.Run(context.Background(), cfg, bench)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,11 +25,11 @@ func main() {
 	}
 
 	fmt.Printf("running %s on %s and %s...\n\n", bench.Name, uba.Name(), nubaCfg.Name())
-	base, err := nuba.Run(uba, bench)
+	base, err := nuba.Run(context.Background(), uba, bench)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := nuba.Run(nubaCfg, bench)
+	res, err := nuba.Run(context.Background(), nubaCfg, bench)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 		} {
 			cfg := nuba.NUBAConfig().Scale(0.5)
 			cfg.Replication = rep.policy
-			res, err := nuba.Run(cfg, bench)
+			res, err := nuba.Run(context.Background(), cfg, bench)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/nuba-gpu/nuba/internal/config"
+	"github.com/nuba-gpu/nuba/internal/sim"
+)
+
+// Engine selects the cycle-loop strategy. Both engines produce
+// cycle-exact, byte-identical reports and traces; they differ only in
+// wall-clock speed. EngineHybrid is the default; EngineNaive is the
+// serial reference kept as an escape hatch and as the oracle the
+// cross-engine tests compare against.
+type Engine uint8
+
+const (
+	// EngineHybrid ticks only components whose wake-up hints say they can
+	// make progress and fast-forwards the clock over proven-idle gaps.
+	EngineHybrid Engine = iota
+	// EngineNaive ticks every component every cycle (the serial
+	// reference implementation).
+	EngineNaive
+)
+
+// String returns the engine's flag spelling.
+func (e Engine) String() string {
+	if e == EngineNaive {
+		return "naive"
+	}
+	return "hybrid"
+}
+
+// ParseEngine parses a -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "hybrid":
+		return EngineHybrid, nil
+	case "naive":
+		return EngineNaive, nil
+	}
+	return EngineHybrid, fmt.Errorf("core: unknown engine %q (want hybrid or naive)", s)
+}
+
+// SetEngine selects the cycle-loop strategy for subsequent runs.
+func (g *GPU) SetEngine(e Engine) { g.engine = e }
+
+// Engine returns the selected cycle-loop strategy.
+func (g *GPU) Engine() Engine { return g.engine }
+
+// componentWake returns the earliest cycle at which any component could
+// make progress on its own: g.cycle+1 while something is active, a future
+// cycle when everything is parked on known timers (DRAM bursts, LLC
+// pipelines, link arrivals, scheduler sleeps), and sim.Never when every
+// component is drained or waiting on another one. The scan is ordered
+// active-likely-first and returns as soon as one active component proves
+// the next cycle must run, so its cost on busy cycles is one SM hint.
+func (g *GPU) componentWake() sim.Cycle {
+	now := g.cycle
+	next := now + 1
+	wake := sim.Never
+	for _, s := range g.sms {
+		t := s.NextWake(now)
+		if t <= next {
+			return next
+		}
+		if t < wake {
+			wake = t
+		}
+	}
+	if !g.migQueue.Empty() || !g.invalQueue.Empty() || len(g.migFillRetry) > 0 {
+		return next
+	}
+	// A crossbar holding messages moves them between stages every cycle.
+	for _, x := range g.reqXbars {
+		if x.Pending() {
+			return next
+		}
+	}
+	for _, x := range g.replyXbars {
+		if x.Pending() {
+			return next
+		}
+	}
+	for _, l := range g.smReqLinks {
+		if t := l.NextReady(); t <= next {
+			return next
+		} else if t < wake {
+			wake = t
+		}
+	}
+	for _, l := range g.sliceReplyLinks {
+		if t := l.NextReady(); t <= next {
+			return next
+		} else if t < wake {
+			wake = t
+		}
+	}
+	for _, l := range g.interHalf {
+		if l == nil {
+			continue
+		}
+		if t := l.NextReady(); t <= next {
+			return next
+		} else if t < wake {
+			wake = t
+		}
+	}
+	for _, row := range g.interModule {
+		for _, l := range row {
+			if l == nil {
+				continue
+			}
+			if t := l.NextReady(); t <= next {
+				return next
+			} else if t < wake {
+				wake = t
+			}
+		}
+	}
+	for _, sl := range g.slices {
+		t := sl.NextEvent(now)
+		if t <= next {
+			return next
+		}
+		if t < wake {
+			wake = t
+		}
+	}
+	// Channels tick on the memory clock: their next chance to act is the
+	// first mem-clock boundary at or after their own next event.
+	div := sim.Cycle(g.cfg.MemClockDiv)
+	boundary := (now/div + 1) * div
+	for _, ch := range g.chans {
+		m, ok := ch.NextEvent()
+		if !ok {
+			continue
+		}
+		t := m * div
+		if t < boundary {
+			t = boundary
+		}
+		if t <= next {
+			return next
+		}
+		if t < wake {
+			wake = t
+		}
+	}
+	if t := g.vmsys.NextEvent(); t <= next {
+		return next
+	} else if t < wake {
+		wake = t
+	}
+	return wake
+}
+
+// nextWake is componentWake plus the scheduled timers that fire
+// regardless of component activity: MDR epoch boundaries and decision
+// applies, migration scans and trace epochs.
+func (g *GPU) nextWake() sim.Cycle {
+	wake := g.componentWake()
+	if wake <= g.cycle+1 {
+		return wake
+	}
+	if g.mdrCtl != nil {
+		if t := g.mdrCtl.NextEvent(); t < wake {
+			wake = t
+		}
+	}
+	if g.cfg.Placement == config.Migration && g.nextMigScan < wake {
+		wake = g.nextMigScan
+	}
+	if g.tracer != nil && g.tr.next < wake {
+		wake = g.tr.next
+	}
+	return wake
+}
+
+// advanceTo advances the clock to target: it steps cycles where some
+// component or timer can act and fast-forwards over gaps where ticking
+// every component is provably a no-op. Stepping resumes one cycle before
+// each wake-up so the event cycle itself runs through the ordinary step,
+// with every modulo check and tick ordering identical to EngineNaive.
+//
+// On busy verdicts the hint scan backs off: stepping is always
+// cycle-exact (it is exactly what EngineNaive does), so after a scan
+// proves the machine busy the engine blind-steps a stride of cycles
+// before scanning again. The stride doubles up to half a batch and
+// resets the moment a scan finds skippable idle time, so dense
+// workloads pay for at most two scans per 64-cycle batch while
+// idle-heavy workloads still fast-forward promptly.
+func (g *GPU) advanceTo(target sim.Cycle) {
+	for g.cycle < target {
+		w := g.nextWake()
+		if w <= g.cycle+1 {
+			for i := sim.Cycle(0); i <= g.busyStride && g.cycle < target; i++ {
+				g.step()
+			}
+			if g.busyStride < batchCycles/2 {
+				g.busyStride = 2*g.busyStride + 1
+			}
+			continue
+		}
+		g.busyStride = 0
+		if w > target {
+			// Nothing can act in (cycle, target]: jump the clock.
+			g.cycle = target
+			return
+		}
+		g.cycle = w - 1
+		g.step()
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/nuba-gpu/nuba/internal/config"
+	"github.com/nuba-gpu/nuba/internal/kir"
+	"github.com/nuba-gpu/nuba/internal/metrics"
+	"github.com/nuba-gpu/nuba/internal/sim"
+)
+
+func TestParseEngine(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Engine
+		err  bool
+	}{
+		{"", EngineHybrid, false},
+		{"hybrid", EngineHybrid, false},
+		{"naive", EngineNaive, false},
+		{"turbo", EngineHybrid, true},
+	} {
+		got, err := ParseEngine(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseEngine(%q) = %v, %v; want %v, err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+	}
+	if EngineHybrid.String() != "hybrid" || EngineNaive.String() != "naive" {
+		t.Errorf("engine String() drifted: %q, %q", EngineHybrid, EngineNaive)
+	}
+}
+
+// runEngine executes the tiny streaming kernel on cfg under the given
+// engine and returns the final statistics.
+func runEngine(t *testing.T, cfg config.Config, e Engine) *metrics.Stats {
+	t.Helper()
+	g := MustNew(cfg)
+	g.SetEngine(e)
+	l := tinyLaunch(t, g, 32, 4)
+	if err := g.RunProgram([]*kir.Launch{l}); err != nil {
+		t.Fatal(err)
+	}
+	return g.Stats()
+}
+
+// The hybrid engine must be cycle-exact: every counter equal to the
+// serial reference, across all architectures and the timer-driven
+// subsystems (MDR epochs, migration scans, MCM inter-module links).
+func TestEnginesCycleExact(t *testing.T) {
+	mcm := config.Baseline().Scale(0.125).WithArch(config.NUBA)
+	mcm.NumModules = 2
+	mcm.InterModuleGBs = 256
+	mdrCfg := tinyConfig(config.NUBA)
+	mdrCfg.Replication = config.MDR
+	mdrCfg.MDREpoch = 4096
+	migCfg := tinyConfig(config.NUBA)
+	migCfg.Placement = config.Migration
+	migCfg.MigrationInterval = 4096
+	cases := map[string]config.Config{
+		"uba-mem":  tinyConfig(config.UBAMem),
+		"uba-sm":   tinyConfig(config.UBASMSide),
+		"nuba":     tinyConfig(config.NUBA),
+		"nuba-mdr": mdrCfg,
+		"nuba-mig": migCfg,
+		"nuba-mcm": mcm,
+	}
+	for _, name := range []string{"uba-mem", "uba-sm", "nuba", "nuba-mdr", "nuba-mig", "nuba-mcm"} {
+		cfg := cases[name]
+		naive := runEngine(t, cfg, EngineNaive)
+		hybrid := runEngine(t, cfg, EngineHybrid)
+		if a, b := fmt.Sprintf("%+v", *naive), fmt.Sprintf("%+v", *hybrid); a != b {
+			t.Errorf("%s: engines diverge\nnaive:  %s\nhybrid: %s", name, a, b)
+		}
+	}
+}
+
+// Wake-up ordering ties: when an MDR epoch boundary, a migration scan and
+// a mem-clock boundary all land on the same cycle, the hybrid engine must
+// process them in the same intra-step order as the reference.
+func TestEnginesWakeTies(t *testing.T) {
+	cfg := tinyConfig(config.NUBA)
+	cfg.Replication = config.MDR
+	cfg.Placement = config.Migration
+	// Both timers share a period that is a multiple of MemClockDiv and of
+	// the batch size, so every firing ties with a mem-clock boundary and
+	// lands exactly on a batch lattice point.
+	cfg.MDREpoch = 4 * batchCycles
+	cfg.MigrationInterval = 4 * batchCycles
+	naive := runEngine(t, cfg, EngineNaive)
+	hybrid := runEngine(t, cfg, EngineHybrid)
+	if a, b := fmt.Sprintf("%+v", *naive), fmt.Sprintf("%+v", *hybrid); a != b {
+		t.Errorf("engines diverge under tied wake-ups\nnaive:  %s\nhybrid: %s", a, b)
+	}
+}
+
+// A component that re-activates exactly at a fast-forward target: with
+// the epoch equal to the batch size every MDR wake-up coincides with the
+// batch boundary the fast-forward aims at, exercising the w == target
+// path of advanceTo.
+func TestEngineReactivationAtFastForwardTarget(t *testing.T) {
+	cfg := tinyConfig(config.NUBA)
+	cfg.Replication = config.MDR
+	cfg.MDREpoch = batchCycles
+	naive := runEngine(t, cfg, EngineNaive)
+	hybrid := runEngine(t, cfg, EngineHybrid)
+	if a, b := fmt.Sprintf("%+v", *naive), fmt.Sprintf("%+v", *hybrid); a != b {
+		t.Errorf("engines diverge with wake at batch boundary\nnaive:  %s\nhybrid: %s", a, b)
+	}
+}
+
+// errAfterCtx reports Canceled starting from the nth Err poll — a
+// deterministic cancellation point, independent of wall-clock, that lands
+// in the middle of a run (and, for the hybrid engine, between
+// fast-forward jumps).
+type errAfterCtx struct {
+	polls int64
+	after int64
+}
+
+func (c *errAfterCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *errAfterCtx) Done() <-chan struct{}       { return nil }
+func (c *errAfterCtx) Value(any) any               { return nil }
+func (c *errAfterCtx) Err() error {
+	if atomic.AddInt64(&c.polls, 1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestEnginesCancelMidRun(t *testing.T) {
+	run := func(e Engine) (int64, error) {
+		g := MustNew(tinyConfig(config.NUBA))
+		g.SetEngine(e)
+		l := tinyLaunch(t, g, 32, 4)
+		err := g.RunProgramContext(&errAfterCtx{after: 10}, []*kir.Launch{l})
+		return g.Stats().Cycles, err
+	}
+	nCycles, nErr := run(EngineNaive)
+	hCycles, hErr := run(EngineHybrid)
+	if nErr == nil || hErr == nil {
+		t.Fatalf("cancellation not observed: naive=%v hybrid=%v", nErr, hErr)
+	}
+	if nCycles != hCycles {
+		t.Errorf("canceled runs diverge: naive stopped at %d, hybrid at %d", nCycles, hCycles)
+	}
+	if nCycles == 0 {
+		t.Error("cancellation fired before any batch ran")
+	}
+}
+
+// The MaxCycles limit must clamp inside the cycle batch: a runaway run
+// stops at exactly the configured cycle — not rounded up to the next
+// 64-cycle batch boundary — and both engines agree on the clamped state.
+func TestMaxCyclesClampsWithinBatch(t *testing.T) {
+	run := func(e Engine, maxCycles int64) (*metrics.Stats, error) {
+		cfg := tinyConfig(config.NUBA)
+		cfg.MaxCycles = maxCycles
+		g := MustNew(cfg)
+		g.SetEngine(e)
+		l := tinyLaunch(t, g, 32, 4)
+		err := g.RunProgram([]*kir.Launch{l})
+		return g.Stats(), err
+	}
+	// 101 is deliberately far off the batch lattice; the kernel needs
+	// hundreds of cycles, so the limit always fires mid-run.
+	const limit = 101
+	for _, e := range []Engine{EngineNaive, EngineHybrid} {
+		st, err := run(e, limit)
+		if err == nil {
+			t.Fatalf("%v: runaway run did not report MaxCycles", e)
+		}
+		if st.Cycles != limit {
+			t.Errorf("%v: stopped at cycle %d, want exactly %d", e, st.Cycles, limit)
+		}
+	}
+	naive, nErr := run(EngineNaive, limit)
+	hybrid, hErr := run(EngineHybrid, limit)
+	if fmt.Sprint(nErr) != fmt.Sprint(hErr) {
+		t.Errorf("clamped errors diverge: naive %v, hybrid %v", nErr, hErr)
+	}
+	if a, b := fmt.Sprintf("%+v", *naive), fmt.Sprintf("%+v", *hybrid); a != b {
+		t.Errorf("clamped stats diverge\nnaive:  %s\nhybrid: %s", a, b)
+	}
+}
+
+// The quiet()-vs-wake consistency invariant (checked under -race in CI):
+// a quiet GPU must report no component wake-up, and a non-quiet GPU must
+// always have a pending wake-up — otherwise the hybrid engine would
+// sleep forever on live work.
+func TestQuietVsWakeInvariant(t *testing.T) {
+	g := MustNew(tinyConfig(config.NUBA))
+	l := tinyLaunch(t, g, 16, 2)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g.launchSeq++
+	g.prewarm(l)
+	g.assignCTAs(l)
+	for batch := 0; ; batch++ {
+		if batch > 1_000_000 {
+			t.Fatal("runaway: kernel did not drain")
+		}
+		quiet := g.quiet()
+		wake := g.componentWake()
+		if quiet && wake != sim.Never {
+			t.Fatalf("batch %d (cycle %d): quiet GPU reports component wake at %d", batch, g.cycle, wake)
+		}
+		if !quiet && g.nextWake() == sim.Never {
+			t.Fatalf("batch %d (cycle %d): live components but no pending wake-up (lost wake)", batch, g.cycle)
+		}
+		if quiet {
+			break
+		}
+		g.advanceTo(g.cycle + batchCycles)
+	}
+	if g.Stats().Instructions == 0 {
+		t.Fatal("invariant walk executed no instructions")
+	}
+}

@@ -63,6 +63,12 @@ type GPU struct {
 	launchSeq    int
 	vaCursor     uint64
 	hitMaxCycles bool
+	engine       Engine
+	// busyStride is the hybrid engine's hint-scan backoff: how many
+	// extra cycles advanceTo blind-steps after a scan proves the
+	// machine busy. Purely an engine-speed knob — never observable in
+	// simulated state.
+	busyStride sim.Cycle
 
 	// migQueue holds background page-copy traffic awaiting channel space.
 	migQueue    *sim.Queue[*sim.MemReq]

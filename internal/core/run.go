@@ -65,27 +65,31 @@ func (g *GPU) RunProgramContext(ctx context.Context, launches []*kir.Launch) err
 
 // assignCTAs implements distributed CTA scheduling: contiguous CTA blocks
 // per SM, maximizing the locality that first-touch/LAB placement exploits.
+// Blocks are passed as [lo, hi) ranges — no per-SM slice allocation, and
+// SMs beyond the grid (a launch smaller than the machine) get an empty
+// range instead of a negative one.
 func (g *GPU) assignCTAs(l *kir.Launch) {
 	n := g.cfg.NumSMs
 	grid := l.GridDim
 	per := (grid + n - 1) / n
 	for smID := 0; smID < n; smID++ {
-		lo := smID * per
-		hi := lo + per
-		if hi > grid {
-			hi = grid
-		}
-		var ctas []int
-		for c := lo; c < hi; c++ {
-			ctas = append(ctas, c)
-		}
-		g.sms[smID].StartKernel(l, ctas)
+		lo := min(smID*per, grid)
+		hi := min(lo+per, grid)
+		g.sms[smID].StartKernel(l, lo, hi)
 	}
 }
 
+// batchCycles is the granularity at which runUntilIdle polls the context
+// and checks for quiescence and the MaxCycles limit. Both engines
+// evaluate those conditions only at batch boundaries, which keeps their
+// reported cycle counts on the same lattice and therefore byte-identical.
+const batchCycles = 64
+
 // runUntilIdle advances the clock until every component drains or the
-// context is canceled. The ctx poll sits outside the 64-cycle inner batch
-// so its cost is amortized over thousands of component ticks.
+// context is canceled. The ctx poll sits outside the per-batch inner loop
+// so its cost is amortized over thousands of component ticks. The batch
+// is clamped at MaxCycles so a runaway workload stops exactly at the
+// configured limit instead of overshooting by up to a whole batch.
 func (g *GPU) runUntilIdle(ctx context.Context) error {
 	for {
 		if err := ctx.Err(); err != nil {
@@ -93,14 +97,22 @@ func (g *GPU) runUntilIdle(ctx context.Context) error {
 			g.collect()
 			return fmt.Errorf("core: run canceled at cycle %d: %w", g.cycle, err)
 		}
-		for i := 0; i < 64; i++ {
-			g.step()
+		target := g.cycle + batchCycles
+		if maxC := sim.Cycle(g.cfg.MaxCycles); g.cycle < maxC && target > maxC {
+			target = maxC
+		}
+		if g.engine == EngineNaive {
+			for g.cycle < target {
+				g.step()
+			}
+		} else {
+			g.advanceTo(target)
 		}
 		if g.quiet() {
 			g.stats.Cycles = int64(g.cycle)
 			return nil
 		}
-		if int64(g.cycle) > g.cfg.MaxCycles {
+		if int64(g.cycle) >= g.cfg.MaxCycles {
 			g.hitMaxCycles = true
 			g.stats.Cycles = int64(g.cycle)
 			g.collect()

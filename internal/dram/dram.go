@@ -310,6 +310,22 @@ func (c *Channel) Pending() bool {
 	return !c.queue.Empty() || !c.completions.Empty()
 }
 
+// NextEvent returns the earliest memory cycle at which the channel could
+// make progress, and whether any work remains. With requests queued the
+// controller may issue a command every memory cycle (0, i.e. immediately);
+// otherwise only the head burst completion remains. Completions are
+// pushed in data-bus order (busFreeAt serializes bursts), so the head's
+// done cycle is the minimum in flight.
+func (c *Channel) NextEvent() (int64, bool) {
+	if !c.queue.Empty() {
+		return 0, true
+	}
+	if comp, ok := c.completions.Peek(); ok {
+		return comp.done, true
+	}
+	return 0, false
+}
+
 // Utilization returns the data-bus busy fraction over elapsed memory cycles.
 func (c *Channel) Utilization(elapsedMemCycles int64) float64 {
 	if elapsedMemCycles <= 0 {

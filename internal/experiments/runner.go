@@ -52,6 +52,11 @@ type Options struct {
 	// once (so Trace is consulted once for it), reports stay
 	// byte-identical for any Jobs value, and each run's trace is too.
 	Trace func(cfgName, bench string) *nuba.TraceOptions
+	// Engine selects the cycle-loop engine (default nuba.EngineHybrid).
+	// Like Trace it never enters the memo key: both engines are
+	// cycle-exact, so the engine changes only how fast a job simulates,
+	// never its result.
+	Engine nuba.Engine
 }
 
 // Runner executes experiments, memoizing runs shared between figures
@@ -175,7 +180,7 @@ func (r *Runner) runCtx(ctx context.Context, cfg nuba.Config, b workload.Benchma
 	if r.opts.Trace != nil {
 		topts = r.opts.Trace(cfg.Name(), b.Abbr)
 	}
-	res, err := nuba.RunTraced(ctx, cfg, b, topts)
+	res, err := nuba.Run(ctx, cfg, b, nuba.WithTrace(topts), nuba.WithEngine(r.opts.Engine))
 	if err != nil {
 		err = fmt.Errorf("%s on %s: %w", b.Abbr, cfg.Name(), err)
 	}

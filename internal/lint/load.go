@@ -8,6 +8,10 @@
 //	import-layering    the package DAG declared in lint.policy holds
 //	ctx-propagation    ctx-receiving functions never reset the context chain
 //	goroutine-in-core  no go statements inside cycle-level model packages
+//	config-liveness    every audited config knob is read by the simulator
+//	metrics-liveness   every counter is written by the model and reported
+//	unit-consistency   nubaunit dimensional analysis over annotated values
+//	deprecated-api     scoped packages never call deprecated root functions
 //
 // Which packages each rule covers, which files are allowlisted, and the
 // allowed import edges all come from a committed policy file (see

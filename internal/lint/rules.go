@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path"
 	"sort"
 	"strings"
 )
@@ -45,6 +46,12 @@ const (
 	// RuleUnits flags mixed-unit arithmetic between expressions whose
 	// units are known from //nubaunit: annotations. See units.go.
 	RuleUnits = "unit-consistency"
+	// RuleDeprecatedAPI flags calls to deprecated functions of the module
+	// root package (those whose doc comment carries a "Deprecated:"
+	// paragraph). The policy scopes it to cmd/*: the CLIs must use the
+	// unified nuba.Run surface, while tests keep the compatibility
+	// wrappers exercised.
+	RuleDeprecatedAPI = "deprecated-api"
 	// RuleDirective reports malformed //nubalint:ignore comments and
 	// nubaunit annotations. It is always on: a directive that silently
 	// fails to parse would hide real findings.
@@ -55,7 +62,7 @@ const (
 func AllRules() []string {
 	return []string{
 		RuleMapRange, RuleWallclock, RuleLayering, RuleCtx, RuleGoroutine,
-		RuleConfigLive, RuleMetricsLive, RuleUnits,
+		RuleConfigLive, RuleMetricsLive, RuleUnits, RuleDeprecatedAPI,
 	}
 }
 
@@ -84,11 +91,12 @@ func knownRule(name string) bool {
 // unit-consistency is dispatched separately because it needs the
 // module-wide annotation table (see Run).
 var ruleFuncs = map[string]func(*pkgCtx){
-	RuleMapRange:  checkMapRange,
-	RuleWallclock: checkWallclock,
-	RuleLayering:  checkLayering,
-	RuleCtx:       checkCtx,
-	RuleGoroutine: checkGoroutine,
+	RuleMapRange:      checkMapRange,
+	RuleWallclock:     checkWallclock,
+	RuleLayering:      checkLayering,
+	RuleCtx:           checkCtx,
+	RuleGoroutine:     checkGoroutine,
+	RuleDeprecatedAPI: checkDeprecatedAPI,
 }
 
 // progRuleFuncs maps each module-wide rule to its checker; these run
@@ -442,6 +450,63 @@ func isContextType(t types.Type) bool {
 	}
 	obj := named.Obj()
 	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// --- deprecated-api --------------------------------------------------
+
+// deprecatedRootFuncs collects the exported functions of the module's
+// root package whose doc comment contains a "Deprecated:" paragraph (the
+// godoc convention). The root package must be among the loaded targets;
+// when it is not (a narrowed lint invocation), the set is empty and the
+// rule finds nothing.
+func deprecatedRootFuncs(prog *Program) map[string]bool {
+	out := make(map[string]bool)
+	for _, pkg := range prog.Pkgs {
+		if pkg.RelName() != "." {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv != nil || fn.Doc == nil || !fn.Name.IsExported() {
+					continue
+				}
+				if strings.Contains(fn.Doc.Text(), "Deprecated:") {
+					out[fn.Name.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkDeprecatedAPI flags calls from in-scope packages to deprecated
+// root-package entry points. Resolution goes through the type info, so a
+// local identifier shadowing the package name does not fool it, and only
+// the module's own API counts.
+func checkDeprecatedAPI(c *pkgCtx) {
+	if !c.pol.InScope(RuleDeprecatedAPI, c.pkg.RelName()) {
+		return
+	}
+	deprecated := deprecatedRootFuncs(c.prog)
+	if len(deprecated) == 0 {
+		return
+	}
+	for _, f := range c.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name := pkgFuncCall(c.pkg.Info, call)
+			if pkg == c.prog.Mod.Path && deprecated[name] {
+				base := path.Base(pkg)
+				c.emitPos(call.Pos(), RuleDeprecatedAPI,
+					fmt.Sprintf("call to deprecated %s.%s; use the unified entry point %s.Run (with Run options)", base, name, base))
+			}
+			return true
+		})
+	}
 }
 
 // --- goroutine-in-core -----------------------------------------------

@@ -3,12 +3,15 @@
 package app
 
 import (
+	"example.com/fixture"
 	"example.com/fixture/engine"
 	"example.com/fixture/simcore"
 )
 
-// Main exercises both imports.
+// Main exercises the imports; the RunOld call is the deprecated-api
+// positive.
 func Main() {
 	engine.Drive(map[string]int{"a": 1}, func() {})
 	simcore.Spawn(func() {})
+	fixture.RunOld()
 }

@@ -126,6 +126,26 @@ func (s *Slice) Pending() bool {
 		!s.outbox.Empty() || s.mshr.Len() > 0
 }
 
+// NextEvent returns the earliest cycle at which the slice could make
+// progress on its own: the next cycle while requests are queued or
+// completions await delivery, the pipeline head's retirement otherwise.
+// sim.Never means the slice is drained or only waiting on external fills
+// (MSHR entries), which re-activate it through AcceptFill.
+func (s *Slice) NextEvent(now sim.Cycle) sim.Cycle {
+	if !s.lmr.Empty() || !s.rmr.Empty() || !s.outbox.Empty() {
+		return now + 1
+	}
+	if c, ok := s.pipe.Peek(); ok {
+		// pipe is FIFO with a fixed tag latency, so the head's ready
+		// cycle is the minimum over the whole pipeline.
+		if c.ready <= now {
+			return now + 1
+		}
+		return c.ready
+	}
+	return sim.Never
+}
+
 // Flush invalidates the whole slice (kernel-boundary software coherence),
 // sending writebacks for dirty lines straight to the memory controller
 // queue via SendMiss; lines that cannot be queued are retried by the
@@ -299,8 +319,8 @@ func (s *Slice) AcceptFill(req *sim.MemReq, now sim.Cycle) {
 		s.outbox.Push(completion{ready: now, kind: outReply, req: req})
 		return
 	}
-	dirty := false
-	for _, r := range append([]*sim.MemReq{entry.Primary}, entry.Waiters...) {
+	dirty := entry.Primary.Kind == sim.Atomic
+	for _, r := range entry.Waiters {
 		if r.Kind == sim.Atomic {
 			dirty = true
 		}

@@ -299,6 +299,16 @@ func NewController(cfg *config.Config, stats *metrics.Stats, prof *Profiler) *Co
 // replicated (the routing layer consults this per request).
 func (c *Controller) Replicating() bool { return c.replicate }
 
+// NextEvent returns the next cycle at which Tick acts: the pending
+// decision's apply cycle when an evaluation is in flight, the epoch
+// boundary otherwise. Tick is a pure no-op on every earlier cycle.
+func (c *Controller) NextEvent() sim.Cycle {
+	if c.applyAt >= 0 && c.applyAt < c.epochEnd {
+		return c.applyAt
+	}
+	return c.epochEnd
+}
+
 // Tick advances the controller: applies a pending decision once the
 // 116-cycle evaluation completes, and evaluates the model at epoch
 // boundaries.

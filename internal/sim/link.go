@@ -121,6 +121,17 @@ func (l *Link[T]) Pop(now Cycle) (v T, ok bool) {
 // Pending returns the number of in-flight or waiting messages.
 func (l *Link[T]) Pending() int { return l.out.Len() }
 
+// NextReady returns the arrival cycle of the head message, or Never when
+// the link is empty. Delivery is in order, so the head's arrival bounds
+// every later message: no receiver can pop anything before it.
+func (l *Link[T]) NextReady() Cycle {
+	it, ok := l.out.Peek()
+	if !ok {
+		return Never
+	}
+	return it.ready
+}
+
 // Utilization returns the fraction of cycles the link input was busy over
 // the elapsed cycle count, a direct input to the NoC power model.
 func (l *Link[T]) Utilization(elapsed Cycle) float64 {

@@ -14,6 +14,13 @@ package sim
 // baseline core clock is 1.4 GHz, so one Cycle is ~0.714 ns.
 type Cycle = int64
 
+// Never is a sentinel wake-up hint meaning "no self-scheduled work": the
+// component cannot make progress until an external event (a message
+// arrival, a fill, a kernel launch) re-activates it. It is far beyond any
+// reachable cycle count yet small enough that arithmetic on it cannot
+// overflow.
+const Never Cycle = 1 << 62
+
 // ReqKind identifies the operation a memory request performs.
 type ReqKind uint8
 

@@ -167,11 +167,13 @@ func (s *SM) L1() *cache.Cache { return s.l1 }
 // L1TLB exposes the TLB (for shootdowns and tests).
 func (s *SM) L1TLB() *vm.TLB { return s.l1TLB }
 
-// StartKernel resets per-kernel state and assigns the given CTA ids
-// (produced by the distributed CTA scheduler) to this SM.
-func (s *SM) StartKernel(l *kir.Launch, ctas []int) {
+// StartKernel resets per-kernel state and assigns the contiguous CTA id
+// block [lo, hi) (produced by the distributed CTA scheduler) to this SM.
+// Taking the block as a range rather than a materialized slice keeps the
+// per-launch hot path allocation-free.
+func (s *SM) StartKernel(l *kir.Launch, lo, hi int) {
 	s.launch = l
-	for _, c := range ctas {
+	for c := lo; c < hi; c++ {
 		s.ctaQueue.Push(c)
 	}
 	s.fillCTAs()
@@ -261,6 +263,52 @@ func (s *SM) takeSlot() int {
 // all outstanding memory traffic.
 func (s *SM) Idle() bool {
 	return s.liveWarps == 0 && s.ctaQueue.Empty() && s.lsu.Empty() && s.sendQueue.Empty()
+}
+
+// NextWake returns a conservative earliest cycle at which ticking the SM
+// could change its state: now+1 while anything can make progress, a
+// future cycle when progress waits only on a known timer (scheduler
+// sleep, L1 TLB hit latency), and sim.Never when progress requires an
+// external event — a memory reply, a finished page walk or a kernel
+// launch, all of which reset the relevant caches when they arrive.
+func (s *SM) NextWake(now sim.Cycle) sim.Cycle {
+	if !s.sendQueue.Empty() {
+		return now + 1
+	}
+	wake := sim.Never
+	for i := 0; i < s.lsu.Len(); i++ {
+		acc := s.lsu.At(i)
+		if acc.nextLine >= len(acc.lines) {
+			return now + 1 // finished access awaiting removal
+		}
+		switch line := &acc.lines[acc.nextLine]; line.state {
+		case lineTranslating:
+			// Parked on the shared TLB/walker; the vm event heap holds
+			// the wake-up and the callback flips the state.
+		case lineTranslated:
+			if line.readyAt <= now {
+				return now + 1
+			}
+			if line.readyAt < wake {
+				wake = line.readyAt
+			}
+		default: // lineNeedTranslate, lineDone: the LSU acts next cycle
+			return now + 1
+		}
+	}
+	for _, su := range s.sleepUntil {
+		if su <= now {
+			// The scheduler would scan on the next tick. With warps (or
+			// CTAs to activate) that scan can issue; without, it only
+			// re-parks itself, which changes nothing observable.
+			if s.liveWarps > 0 || !s.ctaQueue.Empty() {
+				return now + 1
+			}
+		} else if su < wake {
+			wake = su
+		}
+	}
+	return wake
 }
 
 // Tick advances the SM by one cycle: drain the send queue, run the LSU,

@@ -114,7 +114,7 @@ func rigLaunch(t *testing.T, grid int, iters int64) *kir.Launch {
 func TestSMRunsKernelToCompletion(t *testing.T) {
 	r := newRig(t, 50)
 	l := rigLaunch(t, 4, 2)
-	r.sm.StartKernel(l, []int{0, 1, 2, 3})
+	r.sm.StartKernel(l, 0, 4)
 	r.runToIdle(t, 200000)
 	// 4 CTAs x 2 warps x (7 prologue + 2*8 loop + 1 exit) instructions.
 	want := int64(4 * 2 * (7 + 16 + 1))
@@ -131,7 +131,7 @@ func TestSMCoalescing(t *testing.T) {
 	// two 128 B lines -> 2 requests per warp-load (plus stores).
 	r := newRig(t, 10)
 	l := rigLaunch(t, 1, 1)
-	r.sm.StartKernel(l, []int{0})
+	r.sm.StartKernel(l, 0, 1)
 	r.runToIdle(t, 100000)
 	// 2 warps x 1 iter: loads 2x2 lines, stores 2x2 lines = 8 requests.
 	if r.sent != 8 {
@@ -144,10 +144,10 @@ func TestSML1CapturesReuse(t *testing.T) {
 	// in L1 (data cached by the first run's fills).
 	r := newRig(t, 10)
 	l := rigLaunch(t, 1, 2)
-	r.sm.StartKernel(l, []int{0})
+	r.sm.StartKernel(l, 0, 1)
 	r.runToIdle(t, 100000)
 	missesFirst := r.stats.L1Misses
-	r.sm.StartKernel(l, []int{0})
+	r.sm.StartKernel(l, 0, 1)
 	r.runToIdle(t, 200000)
 	if r.stats.L1Misses != missesFirst {
 		t.Fatalf("expected warm L1 (stores invalidated lines aside): %d -> %d",
@@ -160,7 +160,7 @@ func TestSMOccupancyLimits(t *testing.T) {
 	// CTAs; 8 CTAs assigned must still all complete.
 	r := newRig(t, 20)
 	l := rigLaunch(t, 8, 1)
-	r.sm.StartKernel(l, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	r.sm.StartKernel(l, 0, 8)
 	r.runToIdle(t, 400000)
 	want := int64(8 * 2 * (7 + 8 + 1))
 	if r.stats.Instructions != want {
@@ -187,7 +187,7 @@ func TestSMBarrierSynchronizesCTA(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := newRig(t, 400) // long memory delay: barrier must actually wait
-	r.sm.StartKernel(l, []int{0})
+	r.sm.StartKernel(l, 0, 1)
 	r.runToIdle(t, 100000)
 	if r.stats.Instructions != int64(4*6) {
 		t.Fatalf("instructions %d", r.stats.Instructions)
@@ -199,7 +199,7 @@ func TestSMScoreboardBlocksDependentUse(t *testing.T) {
 	// the run time must exceed the delay.
 	r := newRig(t, 5000)
 	l := rigLaunch(t, 1, 1)
-	r.sm.StartKernel(l, []int{0})
+	r.sm.StartKernel(l, 0, 1)
 	done := r.runToIdle(t, 100000)
 	if done < 5000 {
 		t.Fatalf("finished at %d despite 5000-cycle memory", done)

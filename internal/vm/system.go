@@ -180,6 +180,17 @@ func (s *System) Pending() bool {
 	return len(s.events) > 0 || len(s.walks) > 0 || !s.walkQueue.Empty()
 }
 
+// NextEvent returns the cycle the earliest queued timing event fires, or
+// sim.Never when none is scheduled. Every in-flight walk (and every
+// queued walk, which a completion event admits) is driven by a heap
+// event, so Tick is a no-op on any cycle before this one.
+func (s *System) NextEvent() sim.Cycle {
+	if len(s.events) == 0 {
+		return sim.Never
+	}
+	return s.events[0].ready
+}
+
 // Shootdown flushes vpn from the L2 TLB (per-SM L1 TLB flushes are the
 // core's responsibility since it owns the SMs).
 func (s *System) Shootdown(vpn uint64) { s.l2.Flush(vpn) }

@@ -13,7 +13,7 @@
 // Quick start:
 //
 //	bench, _ := nuba.BenchmarkByAbbr("SGEMM")
-//	res, err := nuba.Run(nuba.NUBAConfig(), bench)
+//	res, err := nuba.Run(context.Background(), nuba.NUBAConfig(), bench)
 //	if err != nil { ... }
 //	fmt.Println(res.Stats.IPC(), res.Stats.RepliesPerCycle())
 //
@@ -163,52 +163,175 @@ type Result struct {
 // IPC is shorthand for Stats.IPC.
 func (r *Result) IPC() float64 { return r.Stats.IPC() }
 
-// Run assembles a GPU for cfg, executes the benchmark's kernels to
-// completion and returns the measured result. It is RunContext with a
-// background context.
-func Run(cfg Config, b Benchmark) (*Result, error) {
-	return RunContext(context.Background(), cfg, b)
+// Engine selects the cycle-loop strategy of a run. Both engines are
+// cycle-exact — reports and traces are byte-identical — and differ only
+// in wall-clock speed; EngineNaive is the serial reference kept as an
+// escape hatch and as the oracle the cross-engine tests compare against.
+type Engine = core.Engine
+
+// Cycle-loop engines.
+const (
+	// EngineHybrid is the default idle-skip engine: components report
+	// wake-up hints and the clock fast-forwards over proven-idle gaps.
+	EngineHybrid = core.EngineHybrid
+	// EngineNaive ticks every component every cycle.
+	EngineNaive = core.EngineNaive
+)
+
+// ParseEngine parses a -engine flag value ("hybrid" or "naive").
+func ParseEngine(s string) (Engine, error) { return core.ParseEngine(s) }
+
+// RunOption configures a Run or RunSuite call.
+type RunOption func(*runConfig)
+
+// runConfig is the merged option set of one Run/RunSuite call. It folds
+// what used to be TraceOptions plumbing and the RunOptions struct into a
+// single type behind functional options.
+type runConfig struct {
+	trace    *TraceOptions
+	traceFor func(b Benchmark) *TraceOptions
+	launches func(sys *System) ([]*Launch, error)
+	workers  int
+	progress func(RunEvent)
+	engine   Engine
 }
 
-// RunContext is Run under a context: a long simulation stops promptly
-// once ctx is canceled and returns an error wrapping ctx.Err().
+// WithTrace attaches observability sinks to a single run: the NDJSON
+// epoch time series and/or Chrome trace selected by topts (schema in
+// docs/OBSERVABILITY.md). A nil topts — or one with no sink — runs
+// untraced; tracing is passive, so the simulated cycles are identical
+// either way. The caller owns the sink writers; the run finishes the
+// streams but does not close files. For RunSuite use WithBenchTrace,
+// which hands each concurrent run its own writers.
+func WithTrace(topts *TraceOptions) RunOption {
+	return func(rc *runConfig) { rc.trace = topts }
+}
+
+// WithBenchTrace attaches per-benchmark observability sinks to a
+// RunSuite batch: f is consulted once per benchmark before its run
+// starts and may return that run's trace sinks (nil keeps the run
+// untraced). It is called concurrently from the worker pool, so it must
+// be safe for concurrent use and must hand each run its own writers.
+// Per-run traces are byte-identical for any worker count: each
+// simulation is deterministic in isolation and never shares a sink.
+func WithBenchTrace(f func(b Benchmark) *TraceOptions) RunOption {
+	return func(rc *runConfig) { rc.traceFor = f }
+}
+
+// WithLaunches replaces the benchmark's kernels with caller-constructed
+// launches (the low-level entry point for custom kernels). The build
+// function binds buffers through sys.NewBuffer; the Benchmark argument
+// of Run then only labels the run (an empty one reads "custom").
+func WithLaunches(build func(sys *System) ([]*Launch, error)) RunOption {
+	return func(rc *runConfig) { rc.launches = build }
+}
+
+// WithWorkers sets the number of simulations RunSuite runs concurrently.
+// Zero or negative selects runtime.GOMAXPROCS(0). Single runs ignore it.
+func WithWorkers(n int) RunOption {
+	return func(rc *runConfig) { rc.workers = n }
+}
+
+// WithProgress installs a per-completed-run callback for RunSuite. Calls
+// are serialized (never concurrent) but arrive in completion order,
+// which under more than one worker need not be input order.
+func WithProgress(f func(RunEvent)) RunOption {
+	return func(rc *runConfig) { rc.progress = f }
+}
+
+// WithEngine selects the cycle-loop engine (default EngineHybrid). Both
+// engines produce byte-identical results; EngineNaive is the serial
+// reference escape hatch.
+func WithEngine(e Engine) RunOption {
+	return func(rc *runConfig) { rc.engine = e }
+}
+
+// apply folds opts into a runConfig.
+func apply(opts []RunOption) runConfig {
+	var rc runConfig
+	for _, o := range opts {
+		o(&rc)
+	}
+	return rc
+}
+
+// workerCount returns the effective RunSuite worker-pool size.
+func (rc *runConfig) workerCount() int {
+	if rc.workers > 0 {
+		return rc.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run is the single entry point for one simulation: it assembles a GPU
+// for cfg, executes the benchmark's kernels to completion and returns
+// the measured result. A long simulation stops promptly once ctx is
+// canceled and returns an error wrapping ctx.Err(). Options select
+// tracing (WithTrace), caller-constructed launches (WithLaunches) and
+// the cycle-loop engine (WithEngine); batch-only options are ignored.
+func Run(ctx context.Context, cfg Config, b Benchmark, opts ...RunOption) (*Result, error) {
+	rc := apply(opts)
+	return runOne(ctx, cfg, b, &rc)
+}
+
+// runOne executes one simulation under an already-merged option set.
+func runOne(ctx context.Context, cfg Config, b Benchmark, rc *runConfig) (*Result, error) {
+	build := rc.launches
+	label := b.Abbr
+	if build == nil {
+		build = func(g *System) ([]*Launch, error) { return b.Build(g.NewBuffer) }
+	} else if label == "" {
+		label = "custom"
+	}
+	topts := rc.trace
+	if topts == nil && rc.traceFor != nil {
+		topts = rc.traceFor(b)
+	}
+	return execute(ctx, cfg, build, topts, label, rc.engine)
+}
+
+// RunContext runs b on cfg under a context.
+//
+// Deprecated: RunContext is the pre-unification spelling; call [Run],
+// which has the same signature and behavior.
 func RunContext(ctx context.Context, cfg Config, b Benchmark) (*Result, error) {
-	return RunTraced(ctx, cfg, b, nil)
+	return Run(ctx, cfg, b)
 }
 
-// RunTraced is RunContext with tracing attached: the run emits the
-// epoch time series and/or Chrome trace selected by topts (see
-// docs/OBSERVABILITY.md for the schema). A nil topts — or one with no
-// sink — runs untraced; tracing is passive, so the simulated cycles are
-// identical either way. The caller owns the sink writers; RunTraced
-// finishes the streams but does not close files.
+// RunTraced runs b on cfg with tracing attached.
+//
+// Deprecated: Call [Run] with [WithTrace].
 func RunTraced(ctx context.Context, cfg Config, b Benchmark, topts *TraceOptions) (*Result, error) {
-	return execute(ctx, cfg, func(g *System) ([]*Launch, error) { return b.Build(g.NewBuffer) }, topts, b.Abbr)
+	return Run(ctx, cfg, b, WithTrace(topts))
 }
 
-// RunLaunches runs caller-constructed launches on a fresh system (the
-// low-level entry point for custom kernels). It is RunLaunchesContext
-// with a background context.
+// RunLaunches runs caller-constructed launches on a fresh system.
+//
+// Deprecated: Call [Run] with [WithLaunches] (and a zero Benchmark).
 func RunLaunches(cfg Config, build func(sys *System) ([]*Launch, error)) (*Result, error) {
-	return RunLaunchesContext(context.Background(), cfg, build)
+	return Run(context.Background(), cfg, Benchmark{}, WithLaunches(build))
 }
 
 // RunLaunchesContext is RunLaunches under a context.
+//
+// Deprecated: Call [Run] with [WithLaunches] (and a zero Benchmark).
 func RunLaunchesContext(ctx context.Context, cfg Config, build func(sys *System) ([]*Launch, error)) (*Result, error) {
-	return execute(ctx, cfg, build, nil, "custom")
+	return Run(ctx, cfg, Benchmark{}, WithLaunches(build))
 }
 
 // execute is the single execution path behind every Run* entry point:
 // assemble a system, attach tracing when requested, build the launches
 // into the address space, run them under the context and bundle the
-// measurements. Trace sinks deliberately live outside Config so traced
-// and untraced runs share config fingerprints (the experiment engine's
-// memo key) and simulate identically.
-func execute(ctx context.Context, cfg Config, build func(sys *System) ([]*Launch, error), topts *TraceOptions, label string) (*Result, error) {
+// measurements. Trace sinks and the engine choice deliberately live
+// outside Config so traced/untraced and hybrid/naive runs share config
+// fingerprints (the experiment engine's memo key) and simulate
+// identically.
+func execute(ctx context.Context, cfg Config, build func(sys *System) ([]*Launch, error), topts *TraceOptions, label string, engine Engine) (*Result, error) {
 	g, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
+	g.SetEngine(engine)
 	var tr *trace.Tracer
 	if topts != nil && topts.Enabled() {
 		o := *topts
@@ -252,40 +375,25 @@ type RunEvent struct {
 	Elapsed time.Duration
 }
 
-// RunOptions configure a RunSuite batch.
-type RunOptions struct {
-	// Jobs is the number of simulations run concurrently. Zero or
-	// negative selects runtime.GOMAXPROCS(0).
-	Jobs int
-	// Progress, when non-nil, is called once per completed run. Calls
-	// are serialized (never concurrent) but arrive in completion order,
-	// which under Jobs > 1 need not be input order.
-	Progress func(RunEvent)
-	// Trace, when non-nil, is consulted once per benchmark before its
-	// run starts and may return that run's trace sinks (nil keeps the
-	// run untraced). It is called concurrently from the worker pool, so
-	// it must be safe for concurrent use and must hand each run its own
-	// writers. Per-run traces are byte-identical for any Jobs value:
-	// each simulation is deterministic in isolation and never shares a
-	// sink.
-	Trace func(b Benchmark) *TraceOptions
-}
-
-// Workers returns the effective worker-pool size.
-func (o RunOptions) Workers() int {
-	if o.Jobs > 0 {
-		return o.Jobs
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
 // RunSuite runs every benchmark on cfg across a worker pool and returns
 // the results in benchmark order (independent of completion order). Each
 // run uses its own freshly assembled System, and the simulator holds no
 // mutable global state, so results are identical to running the
 // benchmarks serially. The first error cancels the remaining runs and is
 // returned; a canceled ctx surfaces as an error wrapping ctx.Err().
-func RunSuite(ctx context.Context, cfg Config, benchmarks []Benchmark, opts RunOptions) ([]*Result, error) {
+// Options select the pool size (WithWorkers), a completion callback
+// (WithProgress), per-benchmark trace sinks (WithBenchTrace) and the
+// cycle-loop engine (WithEngine); WithTrace and WithLaunches are
+// single-run options and are rejected here, since a shared sink or a
+// shared launch builder cannot label concurrent runs apart.
+func RunSuite(ctx context.Context, cfg Config, benchmarks []Benchmark, opts ...RunOption) ([]*Result, error) {
+	rc := apply(opts)
+	if rc.trace != nil {
+		return nil, fmt.Errorf("nuba: WithTrace is a single-run option; use WithBenchTrace so each concurrent run gets its own writers")
+	}
+	if rc.launches != nil {
+		return nil, fmt.Errorf("nuba: WithLaunches is a single-run option; call Run per custom-kernel system")
+	}
 	results := make([]*Result, len(benchmarks))
 	if len(benchmarks) == 0 {
 		return results, ctx.Err()
@@ -301,7 +409,7 @@ func RunSuite(ctx context.Context, cfg Config, benchmarks []Benchmark, opts RunO
 		done     int
 	)
 	idx := make(chan int)
-	workers := opts.Workers()
+	workers := rc.workerCount()
 	if workers > len(benchmarks) {
 		workers = len(benchmarks)
 	}
@@ -310,11 +418,7 @@ func RunSuite(ctx context.Context, cfg Config, benchmarks []Benchmark, opts RunO
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				var topts *TraceOptions
-				if opts.Trace != nil {
-					topts = opts.Trace(benchmarks[i])
-				}
-				res, err := RunTraced(ctx, cfg, benchmarks[i], topts)
+				res, err := runOne(ctx, cfg, benchmarks[i], &rc)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -326,8 +430,8 @@ func RunSuite(ctx context.Context, cfg Config, benchmarks []Benchmark, opts RunO
 				}
 				results[i] = res
 				done++
-				if opts.Progress != nil {
-					opts.Progress(RunEvent{
+				if rc.progress != nil {
+					rc.progress(RunEvent{
 						Benchmark: benchmarks[i].Abbr,
 						Config:    cfg.Name(),
 						Index:     i, Done: done, Total: len(benchmarks),

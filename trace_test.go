@@ -54,13 +54,12 @@ func TestTraceDeterministicAcrossJobs(t *testing.T) {
 		for _, b := range benches {
 			byAbbr[b.Abbr] = &sinks{}
 		}
-		_, err := RunSuite(context.Background(), cfg, benches, RunOptions{
-			Jobs: jobs,
-			Trace: func(b Benchmark) *TraceOptions {
+		_, err := RunSuite(context.Background(), cfg, benches,
+			WithWorkers(jobs),
+			WithBenchTrace(func(b Benchmark) *TraceOptions {
 				s := byAbbr[b.Abbr] // read-only map access: concurrency-safe
 				return &TraceOptions{Series: &s.series, Chrome: &s.chrome}
-			},
-		})
+			}))
 		if err != nil {
 			t.Fatal(err)
 		}
