@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_6.json
 
-.PHONY: build vet lint fmt-check docs-check test test-short race bench check clean
+.PHONY: build vet lint fmt-check docs-check test test-short race sanitize bench check clean
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,15 @@ test-short:
 
 race:
 	$(GO) test -race -timeout 30m ./internal/experiments/... ./internal/lint/...
+	$(GO) test -race -timeout 30m -run 'TestEnginesByteIdenticalFullRuns' .
+	$(GO) test -race -timeout 30m -run 'TestEngines|TestSanitize|TestParseEngine|TestQuietVsWake|TestMaxCycles' ./internal/core/
+
+# Hint-soundness smoke: a cheap three-benchmark subset to natural
+# completion under the sanitizer engine (every claimed-idle window
+# stepped and verified; see DESIGN.md §9). The full capped suite runs
+# under `go test .` (TestSanitizeSuite).
+sanitize:
+	$(GO) run ./cmd/nubasim -bench DWT2D,BH,MVT -scale 0.125 -engine sanitize
 
 # The committed perf trajectory: run the engine-throughput benches and
 # regenerate $(BENCH_OUT) (schema in docs/PERF.md).
@@ -38,7 +47,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineThroughput' -benchmem -count 1 . \
 		| $(GO) run ./cmd/nubabench -o $(BENCH_OUT)
 
-check: vet build lint fmt-check docs-check test race
+check: vet build lint fmt-check docs-check test race sanitize
 
 clean:
 	$(GO) clean ./...

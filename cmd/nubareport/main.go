@@ -31,7 +31,7 @@ func main() {
 	skip := flag.String("skip", "", "comma-separated experiments to skip")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "simulations to run in parallel (1 = serial)")
 	verbose := flag.Bool("v", false, "per-run progress on stderr")
-	engineFlag := flag.String("engine", "hybrid", "cycle-loop engine: hybrid | naive (cycle-exact; differ only in speed)")
+	engineFlag := flag.String("engine", "hybrid", nuba.EngineUsage())
 	flag.Parse()
 
 	engine, err := nuba.ParseEngine(*engineFlag)

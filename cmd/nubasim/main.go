@@ -41,7 +41,7 @@ func main() {
 	traceOn := flag.Bool("trace", false, "emit an NDJSON epoch trace and a Chrome trace (docs/OBSERVABILITY.md)")
 	traceOut := flag.String("trace-out", "trace", "trace output path prefix; writes <prefix>.ndjson and <prefix>.trace.json (multi-benchmark runs insert the benchmark abbreviation)")
 	traceEpoch := flag.Int64("trace-epoch", 0, "trace sampling interval in cycles (0 = the config's MDR epoch)")
-	engineFlag := flag.String("engine", "hybrid", "cycle-loop engine: hybrid | naive (cycle-exact; differ only in speed)")
+	engineFlag := flag.String("engine", "hybrid", nuba.EngineUsage())
 	flag.Parse()
 
 	engine, err := nuba.ParseEngine(*engineFlag)

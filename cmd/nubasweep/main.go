@@ -43,7 +43,7 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "simulations to run in parallel (1 = serial)")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	list := flag.Bool("list", false, "list experiments and benchmarks")
-	engineFlag := flag.String("engine", "hybrid", "cycle-loop engine: hybrid | naive (cycle-exact; differ only in speed)")
+	engineFlag := flag.String("engine", "hybrid", nuba.EngineUsage())
 	flag.Parse()
 
 	engine, err := nuba.ParseEngine(*engineFlag)

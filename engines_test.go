@@ -114,6 +114,37 @@ func TestEnginesByteIdenticalAcrossSuite(t *testing.T) {
 	}
 }
 
+// TestSanitizeSuite is the dynamic half of the wake-hint-contract proof
+// (the static half is nubalint's hint-purity/engine-contract rules):
+// every Table 2 benchmark runs under EngineSanitize with the same cap as
+// TestEnginesByteIdenticalAcrossSuite, so every idle window the hint
+// scan claims across the whole suite is stepped cycle-by-cycle and
+// cross-checked against per-component state signatures. A single
+// unsound hint fails the run with a cycle/component diagnostic
+// (runCapped tolerates only the MaxCycles cap), and the clean runs must
+// stay byte-identical to the hybrid engine they are vouching for.
+func TestSanitizeSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed; runs every benchmark twice")
+	}
+	cfg := NUBAConfig().Scale(0.125)
+	cfg.MaxCycles = 256 * 1024
+	for _, b := range Suite() {
+		san := runCapped(t, cfg, b, EngineSanitize)
+		hybrid := runCapped(t, cfg, b, EngineHybrid)
+		if san.outcome != hybrid.outcome {
+			t.Errorf("%s: outcomes diverge\nsanitize: %s\nhybrid:   %s", b.Abbr, san.outcome, hybrid.outcome)
+		}
+		if san.report != hybrid.report {
+			t.Errorf("%s: reports diverge between engines\nsanitize: %s\nhybrid:   %s",
+				b.Abbr, san.report, hybrid.report)
+		}
+		if !bytes.Equal(san.series, hybrid.series) {
+			t.Errorf("%s: NDJSON epoch traces diverge between engines", b.Abbr)
+		}
+	}
+}
+
 // fullRunSubset is one representative per cheap workload class, kept
 // under ~1 s each so both engines complete naturally in test budget:
 // wavelet stencil, irregular tree, decomposition, RNN, CNN, matvec.

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,7 +57,7 @@ func main() {
 		grid = 128
 		k    = 16
 	)
-	res, err := nuba.RunLaunches(cfg, func(sys *nuba.System) ([]*nuba.Launch, error) {
+	res, err := nuba.Run(context.Background(), cfg, nuba.Benchmark{}, nuba.WithLaunches(func(sys *nuba.System) ([]*nuba.Launch, error) {
 		n := uint64(grid * 256)
 		asize := n * k * 8
 		vsize := uint64(k * 8)
@@ -72,7 +73,7 @@ func main() {
 			},
 		}
 		return []*nuba.Launch{l}, nil
-	})
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,16 +2,18 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/nuba-gpu/nuba/internal/config"
 	"github.com/nuba-gpu/nuba/internal/sim"
 )
 
-// Engine selects the cycle-loop strategy. Both engines produce
+// Engine selects the cycle-loop strategy. All engines produce
 // cycle-exact, byte-identical reports and traces; they differ only in
 // wall-clock speed. EngineHybrid is the default; EngineNaive is the
 // serial reference kept as an escape hatch and as the oracle the
-// cross-engine tests compare against.
+// cross-engine tests compare against; EngineSanitize is the hybrid
+// engine's soundness checker (sanitize.go).
 type Engine uint8
 
 const (
@@ -21,25 +23,75 @@ const (
 	// EngineNaive ticks every component every cycle (the serial
 	// reference implementation).
 	EngineNaive
+	// EngineSanitize steps through every hybrid-claimed idle window,
+	// cross-checking each component's state signature against its wake
+	// hint, and fails the run on the first unsound hint.
+	EngineSanitize
 )
+
+// engines is the single registry behind String, ParseEngine,
+// EngineNames and EngineUsage — the flag spelling, the enum value and
+// the one-line description stay in sync by construction. Order is the
+// flag-help display order, default first.
+var engines = []struct {
+	e    Engine
+	name string
+	desc string
+}{
+	{EngineHybrid, "hybrid", "idle-skip cycle loop (default)"},
+	{EngineNaive, "naive", "tick every component every cycle (serial reference)"},
+	{EngineSanitize, "sanitize", "hybrid with per-cycle hint-soundness checks (slow)"},
+}
 
 // String returns the engine's flag spelling.
 func (e Engine) String() string {
-	if e == EngineNaive {
-		return "naive"
+	for _, r := range engines {
+		if r.e == e {
+			return r.name
+		}
 	}
 	return "hybrid"
 }
 
-// ParseEngine parses a -engine flag value.
+// ParseEngine parses a -engine flag value. The empty string selects the
+// default engine.
 func ParseEngine(s string) (Engine, error) {
-	switch s {
-	case "", "hybrid":
+	if s == "" {
 		return EngineHybrid, nil
-	case "naive":
-		return EngineNaive, nil
 	}
-	return EngineHybrid, fmt.Errorf("core: unknown engine %q (want hybrid or naive)", s)
+	for _, r := range engines {
+		if r.name == s {
+			return r.e, nil
+		}
+	}
+	return EngineHybrid, fmt.Errorf("core: unknown engine %q (want %s)", s, strings.Join(EngineNames(), ", "))
+}
+
+// EngineNames returns the flag spellings of every engine, in registry
+// order (default first).
+func EngineNames() []string {
+	names := make([]string, len(engines))
+	for i, r := range engines {
+		names[i] = r.name
+	}
+	return names
+}
+
+// EngineUsage returns the -engine flag help text, built from the
+// registry so CLI help never drifts from the parser.
+func EngineUsage() string {
+	var b strings.Builder
+	b.WriteString("cycle-loop engine: ")
+	for i, r := range engines {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteString(r.name)
+	}
+	for _, r := range engines {
+		fmt.Fprintf(&b, "; %s = %s", r.name, r.desc)
+	}
+	return b.String()
 }
 
 // SetEngine selects the cycle-loop strategy for subsequent runs.
@@ -71,14 +123,15 @@ func (g *GPU) componentWake() sim.Cycle {
 	if !g.migQueue.Empty() || !g.invalQueue.Empty() || len(g.migFillRetry) > 0 {
 		return next
 	}
-	// A crossbar holding messages moves them between stages every cycle.
+	// A crossbar holding messages moves them between stages every cycle:
+	// its hint is next or Never, never a future timer.
 	for _, x := range g.reqXbars {
-		if x.Pending() {
+		if x.NextEvent(now) <= next {
 			return next
 		}
 	}
 	for _, x := range g.replyXbars {
-		if x.Pending() {
+		if x.NextEvent(now) <= next {
 			return next
 		}
 	}
@@ -173,6 +226,9 @@ func (g *GPU) nextWake() sim.Cycle {
 	}
 	if g.tracer != nil && g.tr.next < wake {
 		wake = g.tr.next
+	}
+	if g.testHintBias != 0 && wake != sim.Never {
+		wake += g.testHintBias
 	}
 	return wake
 }

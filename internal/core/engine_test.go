@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -22,6 +23,7 @@ func TestParseEngine(t *testing.T) {
 		{"", EngineHybrid, false},
 		{"hybrid", EngineHybrid, false},
 		{"naive", EngineNaive, false},
+		{"sanitize", EngineSanitize, false},
 		{"turbo", EngineHybrid, true},
 	} {
 		got, err := ParseEngine(tc.in)
@@ -29,8 +31,20 @@ func TestParseEngine(t *testing.T) {
 			t.Errorf("ParseEngine(%q) = %v, %v; want %v, err=%v", tc.in, got, err, tc.want, tc.err)
 		}
 	}
-	if EngineHybrid.String() != "hybrid" || EngineNaive.String() != "naive" {
-		t.Errorf("engine String() drifted: %q, %q", EngineHybrid, EngineNaive)
+	if EngineHybrid.String() != "hybrid" || EngineNaive.String() != "naive" || EngineSanitize.String() != "sanitize" {
+		t.Errorf("engine String() drifted: %q, %q, %q", EngineHybrid, EngineNaive, EngineSanitize)
+	}
+	// The registry round-trips: every advertised name parses back to an
+	// engine that spells itself the same way, so CLI help (EngineUsage)
+	// can never drift from the parser.
+	for _, name := range EngineNames() {
+		e, err := ParseEngine(name)
+		if err != nil || e.String() != name {
+			t.Errorf("registry round-trip broken for %q: %v, %v", name, e, err)
+		}
+		if !strings.Contains(EngineUsage(), name) {
+			t.Errorf("EngineUsage() omits engine %q: %s", name, EngineUsage())
+		}
 	}
 }
 

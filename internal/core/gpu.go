@@ -69,6 +69,11 @@ type GPU struct {
 	// machine busy. Purely an engine-speed knob — never observable in
 	// simulated state.
 	busyStride sim.Cycle
+	// testHintBias, when non-zero, is added to every future wake the
+	// hint scan reports — a deliberately unsound hint the sanitizer
+	// tests inject to prove EngineSanitize catches bad hints. Never set
+	// outside tests.
+	testHintBias sim.Cycle
 
 	// migQueue holds background page-copy traffic awaiting channel space.
 	migQueue    *sim.Queue[*sim.MemReq]

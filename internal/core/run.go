@@ -101,11 +101,18 @@ func (g *GPU) runUntilIdle(ctx context.Context) error {
 		if maxC := sim.Cycle(g.cfg.MaxCycles); g.cycle < maxC && target > maxC {
 			target = maxC
 		}
-		if g.engine == EngineNaive {
+		switch g.engine {
+		case EngineNaive:
 			for g.cycle < target {
 				g.step()
 			}
-		} else {
+		case EngineSanitize:
+			if err := g.advanceToSanitize(target); err != nil {
+				g.stats.Cycles = int64(g.cycle)
+				g.collect()
+				return err
+			}
+		default:
 			g.advanceTo(target)
 		}
 		if g.quiet() {

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/nuba-gpu/nuba/internal/config"
+	"github.com/nuba-gpu/nuba/internal/kir"
+)
+
+// A clean sanitize run must be byte-identical to the serial reference:
+// verification is plain naive stepping, so any divergence means the
+// sanitizer itself perturbed the simulation.
+func TestSanitizeEngineCycleExact(t *testing.T) {
+	mdrCfg := tinyConfig(config.NUBA)
+	mdrCfg.Replication = config.MDR
+	mdrCfg.MDREpoch = 4096
+	cases := map[string]config.Config{
+		"uba-mem":  tinyConfig(config.UBAMem),
+		"uba-sm":   tinyConfig(config.UBASMSide),
+		"nuba":     tinyConfig(config.NUBA),
+		"nuba-mdr": mdrCfg,
+	}
+	for _, name := range []string{"uba-mem", "uba-sm", "nuba", "nuba-mdr"} {
+		cfg := cases[name]
+		naive := runEngine(t, cfg, EngineNaive)
+		san := runEngine(t, cfg, EngineSanitize)
+		if a, b := fmt.Sprintf("%+v", *naive), fmt.Sprintf("%+v", *san); a != b {
+			t.Errorf("%s: sanitize diverges from reference\nnaive:    %s\nsanitize: %s", name, a, b)
+		}
+	}
+}
+
+// The sanitizer's reason to exist: a deliberately optimistic hint — the
+// scan's claimed wake pushed past the true next event — must fail the
+// run with a diagnostic naming the cycle and the component, while the
+// reference engine (which never consults hints) completes normally.
+func TestSanitizeCatchesInjectedBadHint(t *testing.T) {
+	run := func(e Engine, bias int64) error {
+		g := MustNew(tinyConfig(config.NUBA))
+		g.SetEngine(e)
+		g.testHintBias = bias
+		l := tinyLaunch(t, g, 32, 4)
+		return g.RunProgram([]*kir.Launch{l})
+	}
+	if err := run(EngineNaive, 64); err != nil {
+		t.Fatalf("naive engine must ignore hints entirely: %v", err)
+	}
+	err := run(EngineSanitize, 64)
+	if err == nil {
+		t.Fatal("sanitize engine accepted a hint biased 64 cycles past the true wake")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "sanitize: unsound wake hint") {
+		t.Errorf("diagnostic does not identify the violation kind: %v", err)
+	}
+	if !strings.Contains(msg, "at cycle") || !strings.Contains(msg, "idle window") {
+		t.Errorf("diagnostic does not pin the violation to a cycle and window: %v", err)
+	}
+}
+
+// An unbiased sanitize run over every architecture variant must report
+// zero violations — the dynamic proof that the shipped hints are sound
+// on the paths the tiny kernel exercises (the full Table 2 suite runs
+// in the root package's TestSanitizeSuite).
+func TestSanitizeHintsSoundOnTinyKernels(t *testing.T) {
+	mcm := config.Baseline().Scale(0.125).WithArch(config.NUBA)
+	mcm.NumModules = 2
+	mcm.InterModuleGBs = 256
+	migCfg := tinyConfig(config.NUBA)
+	migCfg.Placement = config.Migration
+	migCfg.MigrationInterval = 4096
+	for name, cfg := range map[string]config.Config{
+		"nuba-mig": migCfg,
+		"nuba-mcm": mcm,
+	} {
+		g := MustNew(cfg)
+		g.SetEngine(EngineSanitize)
+		l := tinyLaunch(t, g, 32, 4)
+		if err := g.RunProgram([]*kir.Launch{l}); err != nil {
+			t.Errorf("%s: sanitize violation on a clean run: %v", name, err)
+		}
+	}
+}

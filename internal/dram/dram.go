@@ -326,6 +326,30 @@ func (c *Channel) NextEvent() (int64, bool) {
 	return 0, false
 }
 
+// StateSig returns a signature of the channel's observable state: queue
+// depth, per-bank row and timing state, the bus and bank-group timing
+// trackers and every pending burst completion. The traffic counters are
+// accounting and excluded.
+func (c *Channel) StateSig() uint64 {
+	h := sim.MixSig(sim.SigSeed, uint64(c.queue.Len()))
+	for i := range c.banks {
+		b := &c.banks[i]
+		h = sim.MixSigBool(h, b.rowOpen)
+		h = sim.MixSig(h, b.row)
+		h = sim.MixSig(h, uint64(b.readyAct))
+		h = sim.MixSig(h, uint64(b.readyCAS))
+		h = sim.MixSig(h, uint64(b.readyPre))
+	}
+	h = sim.MixSig(h, uint64(c.busFreeAt))
+	h = sim.MixSig(h, uint64(c.lastActAt))
+	h = sim.MixSig(h, uint64(c.lastCASAt))
+	h = sim.MixSig(h, uint64(c.lastWrEndAt))
+	for i := 0; i < c.completions.Len(); i++ {
+		h = sim.MixSig(h, uint64(c.completions.At(i).done))
+	}
+	return h
+}
+
 // Utilization returns the data-bus busy fraction over elapsed memory cycles.
 func (c *Channel) Utilization(elapsedMemCycles int64) float64 {
 	if elapsedMemCycles <= 0 {

@@ -233,4 +233,18 @@ func TestPolicyParseErrors(t *testing.T) {
 	if allowed, declared := pol.LayerFor("a"); !declared || !allowed["b"] || !allowed["c"] || allowed["d"] {
 		t.Errorf("LayerFor(a) = %v, %v", allowed, declared)
 	}
+
+	// The funcs verb (hint-purity roots) round-trips in order.
+	funcs := "funcs hint-purity = pkg/a.T.Hint pkg/b.Scan\n"
+	pol, err = ParsePolicyData(funcs, "test.policy")
+	if err != nil {
+		t.Fatalf("ParsePolicyData(funcs): %v", err)
+	}
+	got := pol.Funcs(RuleHintPurity)
+	if len(got) != 2 || got[0] != "pkg/a.T.Hint" || got[1] != "pkg/b.Scan" {
+		t.Errorf("Funcs(hint-purity) = %v", got)
+	}
+	if _, err := ParsePolicyData("funcs made-up-rule = a.B", "test.policy"); err == nil {
+		t.Error("funcs verb accepted an unknown rule")
+	}
 }

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"strings"
+)
+
+// hint-purity: the hybrid engine's idle-skip decisions are sound only
+// if every wake hint is a pure observation — a hint that mutates state,
+// touches a channel or starts a goroutine would make the hint scan
+// itself a simulation event, and the fast-forwarded window would no
+// longer replay identically under the naive engine. The rule audits
+// the functions listed in `funcs hint-purity` and everything they
+// transitively call (over the use graph, with interface calls
+// over-approximated to every same-name method) and reports:
+//
+//   - any side effect in the closure: field or package-variable
+//     writes, stores through pointers/slices/maps, channel sends,
+//     receives, closes or selects, and goroutine starts;
+//   - any call that leaves the module (stdlib or external), whose
+//     effects the analysis cannot see.
+//
+// Findings point at the offending statement and carry the hint root
+// plus the call path that reaches it, so a violation deep in a helper
+// is still a one-line fix away.
+
+// resolveFunc maps a policy func spec — "pkg.Func" or
+// "pkg.Type.Method", with the package module-relative — to its
+// *types.Func. The spec's package must be among the loaded packages.
+func (c *progCtx) resolveFunc(spec string) (*types.Func, error) {
+	tail := spec
+	prefix := ""
+	if i := strings.LastIndexByte(spec, '/'); i >= 0 {
+		prefix, tail = spec[:i+1], spec[i+1:]
+	}
+	parts := strings.Split(tail, ".")
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("func spec %q is not of the form pkg.Func or pkg.Type.Method", spec)
+	}
+	pkgRel := prefix + parts[0]
+	if pkgRel == "" {
+		pkgRel = "."
+	}
+	for _, pkg := range c.prog.Pkgs {
+		if pkg.RelName() != pkgRel {
+			continue
+		}
+		obj := pkg.Types.Scope().Lookup(parts[1])
+		if obj == nil {
+			return nil, fmt.Errorf("func spec %q: no %s in package %s", spec, parts[1], pkgRel)
+		}
+		if len(parts) == 2 {
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return nil, fmt.Errorf("func spec %q: %s is not a function", spec, parts[1])
+			}
+			return fn, nil
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			return nil, fmt.Errorf("func spec %q: %s is not a named type", spec, parts[1])
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == parts[2] {
+				return m, nil
+			}
+		}
+		return nil, fmt.Errorf("func spec %q: type %s has no method %s", spec, parts[1], parts[2])
+	}
+	return nil, fmt.Errorf("func spec %q: package %s is not among the loaded packages", spec, pkgRel)
+}
+
+// checkHintPurity walks the transitive call closure of each declared
+// wake hint and reports every side effect and every unanalyzable
+// external call it contains.
+func checkHintPurity(c *progCtx) error {
+	specs := c.pol.Funcs(RuleHintPurity)
+	if len(specs) == 0 {
+		return nil
+	}
+	g := c.useGraph()
+	for _, spec := range specs {
+		fn, err := c.resolveFunc(spec)
+		if err != nil {
+			return fmt.Errorf("hint-purity: %w", err)
+		}
+		root := g.byObj[fn]
+		if root == nil {
+			return fmt.Errorf("hint-purity: %s has no body in the loaded packages", spec)
+		}
+		// BFS in deterministic order: calleeList preserves source
+		// order, so the recorded path to each node is stable.
+		paths := map[*funcNode]string{root: funcDisplay(fn)}
+		queue := []*funcNode{root}
+		externSeen := map[*types.Func]bool{}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, eff := range n.effects {
+				if n == root {
+					c.emitPos(eff.pos, RuleHintPurity,
+						fmt.Sprintf("wake hint %s must be side-effect-free but %s", spec, eff.desc))
+				} else {
+					c.emitPos(eff.pos, RuleHintPurity,
+						fmt.Sprintf("wake hint %s must be side-effect-free but %s (reached via %s)", spec, eff.desc, paths[n]))
+				}
+			}
+			for _, callee := range n.calleeList {
+				nodes := g.calleeNodes(callee)
+				if len(nodes) == 0 {
+					// A callee with no module body: flag calls that
+					// leave the module, whose effects are invisible to
+					// the analysis.
+					if pkg := callee.Pkg(); pkg != nil && !externSeen[callee] {
+						externSeen[callee] = true
+						c.emitPos(n.callPos[callee], RuleHintPurity,
+							fmt.Sprintf("wake hint %s calls %s.%s, outside the module; its effects cannot be verified (reached via %s)",
+								spec, pkg.Path(), callee.Name(), paths[n]))
+					}
+					continue
+				}
+				for _, m := range nodes {
+					if _, seen := paths[m]; seen {
+						continue
+					}
+					paths[m] = paths[n] + " -> " + funcDisplay(m.fn)
+					queue = append(queue, m)
+				}
+			}
+		}
+	}
+	return nil
+}

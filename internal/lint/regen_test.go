@@ -1,0 +1,33 @@
+package lint
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRegenGolden rewrites testdata/golden.txt from the analyzer's
+// current fixture output. It is skipped unless REGEN is set:
+//
+//	REGEN=1 go test ./internal/lint -run TestRegenGolden
+//
+// Inspect the diff before committing — the golden file is the contract
+// for every rule's exact diagnostic text.
+func TestRegenGolden(t *testing.T) {
+	if os.Getenv("REGEN") == "" {
+		t.Skip("set REGEN=1 to rewrite testdata/golden.txt")
+	}
+	prog, pol := loadFixture(t)
+	diags, err := Run(prog, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile("testdata/golden.txt", []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -52,6 +52,22 @@ const (
 	// unified nuba.Run surface, while tests keep the compatibility
 	// wrappers exercised.
 	RuleDeprecatedAPI = "deprecated-api"
+	// RuleHintPurity flags side effects (field or package-variable
+	// writes, channel operations, goroutine starts) and unanalyzable
+	// external calls in the wake-hint methods listed in
+	// `funcs hint-purity` or anything they transitively call. The
+	// hybrid engine's idle-skip is only cycle-exact if hints are pure
+	// observations. See purity.go.
+	RuleHintPurity = "hint-purity"
+	// RuleEngineContract flags types the engine ticks that are missing
+	// from `structs engine-contract` or missing a wake hint method, and
+	// stale policy entries the engine no longer ticks. See ownership.go.
+	RuleEngineContract = "engine-contract"
+	// RulePartitionIsolation flags writes to partition-owned component
+	// state (`structs partition-isolation`) from outside the owning
+	// package, unless the writing function is a declared seam
+	// (`writers partition-isolation`). See ownership.go.
+	RulePartitionIsolation = "partition-isolation"
 	// RuleDirective reports malformed //nubalint:ignore comments and
 	// nubaunit annotations. It is always on: a directive that silently
 	// fails to parse would hide real findings.
@@ -63,6 +79,7 @@ func AllRules() []string {
 	return []string{
 		RuleMapRange, RuleWallclock, RuleLayering, RuleCtx, RuleGoroutine,
 		RuleConfigLive, RuleMetricsLive, RuleUnits, RuleDeprecatedAPI,
+		RuleHintPurity, RuleEngineContract, RulePartitionIsolation,
 	}
 }
 
@@ -102,8 +119,11 @@ var ruleFuncs = map[string]func(*pkgCtx){
 // progRuleFuncs maps each module-wide rule to its checker; these run
 // once over the whole program, after the per-package rules.
 var progRuleFuncs = map[string]func(*progCtx) error{
-	RuleConfigLive:  checkConfigLiveness,
-	RuleMetricsLive: checkMetricsLiveness,
+	RuleConfigLive:         checkConfigLiveness,
+	RuleMetricsLive:        checkMetricsLiveness,
+	RuleHintPurity:         checkHintPurity,
+	RuleEngineContract:     checkEngineContract,
+	RulePartitionIsolation: checkPartitionIsolation,
 }
 
 // emitFunc reports a diagnostic at a token position, applying

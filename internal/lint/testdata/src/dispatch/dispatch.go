@@ -1,0 +1,45 @@
+// Package dispatch exercises the use graph's indirect call edges —
+// interface dispatch, method values, deferred and go calls, generic
+// instantiations. The usegraph tests assert the edges exist; no lint
+// rule fires here.
+package dispatch
+
+// Doer is the dynamic-dispatch fixture interface.
+type Doer interface{ Do() }
+
+// A and B are the concrete implementations the dispatch
+// over-approximation must expand Doer.Do to.
+type A struct{ n int }
+
+// Do implements Doer.
+func (a *A) Do() { a.n++ }
+
+// B is the second implementation.
+type B struct{ n int }
+
+// Do implements Doer.
+func (b *B) Do() { b.n++ }
+
+// CallIface dispatches through the interface: the graph records an edge
+// to the abstract Doer.Do.
+func CallIface(d Doer) { d.Do() }
+
+// MethodValue captures a bound method without calling it — still an
+// edge, the reference is what the graph tracks.
+func MethodValue(a *A) func() { return a.Do }
+
+// DeferredAndGo references callees from defer and go statements.
+func DeferredAndGo(a *A, b *B) {
+	defer a.Do()
+	go b.Do()
+}
+
+// Box exercises generic-instantiation normalization: a call on a
+// concrete instantiation must resolve to the declared origin method.
+type Box[T any] struct{ v T }
+
+// Get returns the boxed value.
+func (b *Box[T]) Get() T { return b.v }
+
+// UseBox calls through the int instantiation.
+func UseBox(b *Box[int]) int { return b.Get() }

@@ -1,0 +1,12 @@
+package engine
+
+import "example.com/fixture/hints"
+
+// TickAll is the fixture cycle loop: it drives the sound component, the
+// hintless component (engine-contract finding at the type) and the
+// unlisted rogue (engine-contract finding at the call site below).
+func TickAll(c *hints.Comp, nh *hints.NoHint, r *hints.Rogue, now int64) {
+	c.Tick(now)
+	nh.Tick(now)
+	r.Tick(now)
+}

@@ -1,0 +1,12 @@
+// Package intruder touches owner state from outside the owning
+// package: Install is the declared wiring seam (listed in `writers
+// partition-isolation`), Poke is the violation the rule must flag.
+package intruder
+
+import "example.com/fixture/owner"
+
+// Install wires the core's send callback — the sanctioned seam.
+func Install(c *owner.Core, send func(int64) bool) { c.Send = send }
+
+// Poke resets owner state from outside: a partition-isolation finding.
+func Poke(c *owner.Core) { c.Counter = 0 }

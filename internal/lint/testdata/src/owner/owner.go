@@ -1,0 +1,15 @@
+// Package owner owns the partition state the partition-isolation rule
+// audits in the fixture.
+package owner
+
+// Core is partition-owned component state.
+type Core struct {
+	// Counter is mutated by the owner and, illegally, by intruder.Poke.
+	Counter int64
+	// Send is the wiring seam installed at construction time by the
+	// sanctioned intruder.Install.
+	Send func(v int64) bool
+}
+
+// Bump is the owner's own mutation — always sanctioned.
+func (c *Core) Bump() { c.Counter++ }

@@ -146,6 +146,28 @@ func (s *Slice) NextEvent(now sim.Cycle) sim.Cycle {
 	return sim.Never
 }
 
+// StateSig returns a signature of the slice's observable state: queue
+// depths, the round-robin arbiter position, every in-flight pipeline
+// and outbox completion (ready cycle and kind) and the outstanding MSHR
+// count. Counters are excluded.
+func (s *Slice) StateSig() uint64 {
+	h := sim.MixSig(sim.SigSeed, uint64(s.lmr.Len()))
+	h = sim.MixSig(h, uint64(s.rmr.Len()))
+	h = sim.MixSigBool(h, s.rrNextRemote)
+	for i := 0; i < s.pipe.Len(); i++ {
+		c := s.pipe.At(i)
+		h = sim.MixSig(h, uint64(c.ready))
+		h = sim.MixSig(h, uint64(c.kind))
+	}
+	for i := 0; i < s.outbox.Len(); i++ {
+		c := s.outbox.At(i)
+		h = sim.MixSig(h, uint64(c.ready))
+		h = sim.MixSig(h, uint64(c.kind))
+	}
+	h = sim.MixSig(h, uint64(s.mshr.Len()))
+	return h
+}
+
 // Flush invalidates the whole slice (kernel-boundary software coherence),
 // sending writebacks for dirty lines straight to the memory controller
 // queue via SendMiss; lines that cannot be queued are retried by the

@@ -309,6 +309,19 @@ func (c *Controller) NextEvent() sim.Cycle {
 	return c.epochEnd
 }
 
+// StateSig returns a signature of the controller's observable state:
+// the replication mode, the pending decision and its apply time, the
+// epoch boundary and the decision counters.
+func (c *Controller) StateSig() uint64 {
+	h := sim.MixSigBool(sim.SigSeed, c.replicate)
+	h = sim.MixSigBool(h, c.nextDecision)
+	h = sim.MixSig(h, uint64(c.applyAt))
+	h = sim.MixSig(h, uint64(c.epochEnd))
+	h = sim.MixSig(h, uint64(c.Decisions))
+	h = sim.MixSig(h, uint64(c.EpochsReplicating))
+	return h
+}
+
 // Tick advances the controller: applies a pending decision once the
 // 116-cycle evaluation completes, and evaluates the model at epoch
 // boundaries.

@@ -186,6 +186,38 @@ func (x *Crossbar) Occupancy() int {
 	return n
 }
 
+// NextEvent returns the crossbar's wake hint: a crossbar holding any
+// message moves it between stages on the very next tick, so the hint
+// is now+1 while occupied and sim.Never when empty. This satisfies the
+// engine contract (every ticked component exposes a hint the idle-skip
+// scan can read; see lint.policy `structs engine-contract`).
+func (x *Crossbar) NextEvent(now sim.Cycle) sim.Cycle {
+	if x.Pending() {
+		return now + 1
+	}
+	return sim.Never
+}
+
+// StateSig returns a signature of the crossbar's observable state: the
+// input-queue depths and port-free times plus the middle- and
+// egress-link signatures. Traffic counters (Bytes, Messages, busy) are
+// accounting, not simulation state, and are excluded.
+func (x *Crossbar) StateSig() uint64 {
+	h := sim.SigSeed
+	for i := range x.in {
+		p := &x.in[i]
+		h = sim.MixSig(h, uint64(p.q.Len()))
+		h = sim.MixSig(h, uint64(p.nextFree))
+	}
+	for _, l := range x.mid {
+		h = sim.MixSig(h, l.StateSig())
+	}
+	for _, l := range x.out {
+		h = sim.MixSig(h, l.StateSig())
+	}
+	return h
+}
+
 // Pending reports whether any message is buffered or in flight.
 func (x *Crossbar) Pending() bool {
 	for i := range x.in {

@@ -132,6 +132,20 @@ func (l *Link[T]) NextReady() Cycle {
 	return it.ready
 }
 
+// StateSig returns a signature of the link's semantically observable
+// state: the in-flight message count and each message's arrival cycle.
+// The serialization drain (backlog, lastCycle) and the accounting
+// counters are excluded — drain is pure time progress re-derived from
+// the clock on the next Send, so it may advance inside a proven-idle
+// window without invalidating the wake hint.
+func (l *Link[T]) StateSig() uint64 {
+	h := MixSig(SigSeed, uint64(l.out.Len()))
+	for i := 0; i < l.out.Len(); i++ {
+		h = MixSig(h, uint64(l.out.At(i).ready))
+	}
+	return h
+}
+
 // Utilization returns the fraction of cycles the link input was busy over
 // the elapsed cycle count, a direct input to the NoC power model.
 func (l *Link[T]) Utilization(elapsed Cycle) float64 {

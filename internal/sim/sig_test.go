@@ -1,0 +1,48 @@
+package sim
+
+import "testing"
+
+func TestMixSigOrderSensitive(t *testing.T) {
+	a := MixSig(MixSig(SigSeed, 1), 2)
+	b := MixSig(MixSig(SigSeed, 2), 1)
+	if a == b {
+		t.Error("MixSig is order-insensitive: swapped values collide")
+	}
+	if MixSig(SigSeed, 0) == SigSeed {
+		t.Error("mixing a zero must still advance the signature")
+	}
+	if MixSigBool(SigSeed, true) == MixSigBool(SigSeed, false) {
+		t.Error("MixSigBool collides on true/false")
+	}
+}
+
+// The sanitize engine's precision contract for links: the signature
+// tracks the in-flight messages (what the wake hint promises about) but
+// ignores the serialization drain, which legitimately advances with the
+// clock inside a proven-idle window.
+func TestLinkStateSig(t *testing.T) {
+	l := NewLink[int](4, 16, 0)
+	empty := l.StateSig()
+	if !l.Send(10, 7, 16) {
+		t.Fatal("send rejected on an empty link")
+	}
+	loaded := l.StateSig()
+	if loaded == empty {
+		t.Error("StateSig unchanged by Send")
+	}
+	// Draining the backlog via a later-cycle CanSend must not move the
+	// signature: nothing observable happened to the in-flight message.
+	l.CanSend(12)
+	if l.StateSig() != loaded {
+		t.Error("StateSig changed by backlog drain (pure time progress)")
+	}
+	if _, ok := l.Pop(100); !ok {
+		t.Fatal("message never arrived")
+	}
+	if l.StateSig() == loaded {
+		t.Error("StateSig unchanged by Pop")
+	}
+	if l.StateSig() != empty {
+		t.Error("drained link's signature differs from the empty link's")
+	}
+}

@@ -311,6 +311,44 @@ func (s *SM) NextWake(now sim.Cycle) sim.Cycle {
 	return wake
 }
 
+// StateSig returns a signature of the SM's observable state: live-warp
+// and queue occupancy, per-warp scheduling state and the LSU's in-flight
+// accesses. The scheduler sleep caches are included only while work
+// remains: with no live warps and no queued CTAs a tick may lazily
+// re-park an expired sleep entry, which changes nothing observable — the
+// exact case SM.NextWake's hint declares idle.
+func (s *SM) StateSig() uint64 {
+	h := sim.MixSig(sim.SigSeed, uint64(s.liveWarps))
+	h = sim.MixSig(h, uint64(s.ctaQueue.Len()))
+	h = sim.MixSig(h, uint64(s.sendQueue.Len()))
+	h = sim.MixSig(h, uint64(s.nextAge))
+	if s.liveWarps > 0 || !s.ctaQueue.Empty() {
+		for _, su := range s.sleepUntil {
+			h = sim.MixSig(h, uint64(su))
+		}
+	}
+	for slot := range s.warps {
+		ws := &s.warps[slot]
+		if !ws.valid {
+			continue
+		}
+		h = sim.MixSig(h, uint64(slot))
+		h = sim.MixSig(h, uint64(ws.nextReady))
+		h = sim.MixSig(h, uint64(ws.outstanding))
+		h = sim.MixSigBool(h, ws.atBarrier)
+	}
+	for i := 0; i < s.lsu.Len(); i++ {
+		acc := s.lsu.At(i)
+		h = sim.MixSig(h, uint64(acc.warp))
+		h = sim.MixSig(h, uint64(acc.nextLine))
+		for j := acc.nextLine; j < len(acc.lines); j++ {
+			h = sim.MixSig(h, uint64(acc.lines[j].state))
+			h = sim.MixSig(h, uint64(acc.lines[j].readyAt))
+		}
+	}
+	return h
+}
+
 // Tick advances the SM by one cycle: drain the send queue, run the LSU,
 // then let each scheduler issue one instruction.
 func (s *SM) Tick(now sim.Cycle) {

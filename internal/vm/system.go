@@ -191,6 +191,21 @@ func (s *System) NextEvent() sim.Cycle {
 	return s.events[0].ready
 }
 
+// StateSig returns a signature of the translation system's observable
+// state: the event heap (length and firing cycles), busy walkers and
+// the queued and in-flight walk counts. lastTick is pure time progress
+// and excluded.
+func (s *System) StateSig() uint64 {
+	h := sim.MixSig(sim.SigSeed, uint64(len(s.events)))
+	for _, e := range s.events {
+		h = sim.MixSig(h, uint64(e.ready))
+	}
+	h = sim.MixSig(h, uint64(s.walkersBusy))
+	h = sim.MixSig(h, uint64(s.walkQueue.Len()))
+	h = sim.MixSig(h, uint64(len(s.walks)))
+	return h
+}
+
 // Shootdown flushes vpn from the L2 TLB (per-SM L1 TLB flushes are the
 // core's responsibility since it owns the SMs).
 func (s *System) Shootdown(vpn uint64) { s.l2.Flush(vpn) }

@@ -163,7 +163,7 @@ type Result struct {
 // IPC is shorthand for Stats.IPC.
 func (r *Result) IPC() float64 { return r.Stats.IPC() }
 
-// Engine selects the cycle-loop strategy of a run. Both engines are
+// Engine selects the cycle-loop strategy of a run. All engines are
 // cycle-exact — reports and traces are byte-identical — and differ only
 // in wall-clock speed; EngineNaive is the serial reference kept as an
 // escape hatch and as the oracle the cross-engine tests compare against.
@@ -176,10 +176,24 @@ const (
 	EngineHybrid = core.EngineHybrid
 	// EngineNaive ticks every component every cycle.
 	EngineNaive = core.EngineNaive
+	// EngineSanitize is the hybrid engine's soundness checker: instead
+	// of skipping a claimed-idle window it steps through it, comparing
+	// per-component state signatures and run statistics after every
+	// cycle, and fails the run on the first unsound wake hint. Clean
+	// runs are byte-identical to the other engines but much slower —
+	// a verification tool, not a production engine.
+	EngineSanitize = core.EngineSanitize
 )
 
-// ParseEngine parses a -engine flag value ("hybrid" or "naive").
+// ParseEngine parses a -engine flag value (one of EngineNames).
 func ParseEngine(s string) (Engine, error) { return core.ParseEngine(s) }
+
+// EngineNames returns the flag spellings of every engine, default first.
+func EngineNames() []string { return core.EngineNames() }
+
+// EngineUsage returns -engine flag help text listing every engine with
+// a one-line description, for CLIs to pass to flag.String.
+func EngineUsage() string { return core.EngineUsage() }
 
 // RunOption configures a Run or RunSuite call.
 type RunOption func(*runConfig)
