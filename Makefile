@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_6.json
 
-.PHONY: build vet lint fmt-check docs-check test test-short race sanitize bench check clean
+.PHONY: build vet lint fmt-check docs-check test test-short race sanitize stress bench check clean
 
 build:
 	$(GO) build ./...
@@ -41,13 +41,21 @@ race:
 sanitize:
 	$(GO) run ./cmd/nubasim -bench DWT2D,BH,MVT -scale 0.125 -engine sanitize
 
+# The seeded fault-injection stress matrix (docs/ROBUSTNESS.md): every
+# fault class injected into a short run and caught by the layer that
+# owns it — the forward-progress watchdog, the sanitize engine or the
+# panic-isolating experiment pool — plus retry, partial-report and
+# cancel-under-fault coverage. Deterministic: failures reproduce exactly.
+stress:
+	$(GO) test -timeout 20m -run 'TestStress' ./internal/experiments/
+
 # The committed perf trajectory: run the engine-throughput benches and
 # regenerate $(BENCH_OUT) (schema in docs/PERF.md).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineThroughput' -benchmem -count 1 . \
 		| $(GO) run ./cmd/nubabench -o $(BENCH_OUT)
 
-check: vet build lint fmt-check docs-check test race sanitize
+check: vet build lint fmt-check docs-check test race sanitize stress
 
 clean:
 	$(GO) clean ./...

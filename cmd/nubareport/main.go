@@ -32,6 +32,8 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "simulations to run in parallel (1 = serial)")
 	verbose := flag.Bool("v", false, "per-run progress on stderr")
 	engineFlag := flag.String("engine", "hybrid", nuba.EngineUsage())
+	watchdog := flag.Int64("watchdog", 0, "fail a run once no component state changes for this many cycles while work is pending (0 = off)")
+	retries := flag.Int("retries", 0, "retries per job for transient failures")
 	flag.Parse()
 
 	engine, err := nuba.ParseEngine(*engineFlag)
@@ -39,7 +41,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nubareport:", err)
 		os.Exit(2)
 	}
-	opts := experiments.Options{Scale: *scale, Jobs: *jobs, Engine: engine}
+	opts := experiments.Options{Scale: *scale, Jobs: *jobs, Engine: engine,
+		Watchdog: *watchdog, Retries: *retries}
 	if *verbose {
 		opts.OnEvent = func(ev experiments.Event) {
 			line := fmt.Sprintf("  [%d/%d] %-7s on %-28s cycles=%-9d elapsed=%s",
@@ -83,6 +86,7 @@ func main() {
 
 	r := experiments.NewRunner(opts)
 	fmt.Fprintf(w, "# NUBA reproduction report\n\n")
+	failed := 0
 	for _, e := range experiments.All() {
 		if skipSet[e.Name] {
 			fmt.Fprintf(w, "## %s — SKIPPED\n\n", e.Title)
@@ -98,8 +102,16 @@ func main() {
 				os.Exit(130)
 			}
 			fmt.Fprintf(w, "## %s\n\nERROR: %v\n\n", e.Title, err)
+			failed++
 			continue
 		}
-		fmt.Fprintf(w, "## %s\n\n```\n%s```\n(%.0fs)\n\n", e.Title, report, time.Since(start).Seconds())
+		fmt.Fprintf(w, "## %s\n\n```\n%s```\n(%.0fs)\n\n", e.Title, report.Text, time.Since(start).Seconds())
+	}
+	// The runner is shared across experiments, so its failure list is the
+	// whole run's; count it once rather than per experiment.
+	failed += len(r.Failures())
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "nubareport: %d job(s) or experiment(s) failed; the report is partial\n", failed)
+		os.Exit(1)
 	}
 }

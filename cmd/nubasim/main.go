@@ -42,6 +42,7 @@ func main() {
 	traceOut := flag.String("trace-out", "trace", "trace output path prefix; writes <prefix>.ndjson and <prefix>.trace.json (multi-benchmark runs insert the benchmark abbreviation)")
 	traceEpoch := flag.Int64("trace-epoch", 0, "trace sampling interval in cycles (0 = the config's MDR epoch)")
 	engineFlag := flag.String("engine", "hybrid", nuba.EngineUsage())
+	watchdog := flag.Int64("watchdog", 0, "fail a run once no component state changes for this many cycles while work is pending (0 = off)")
 	flag.Parse()
 
 	engine, err := nuba.ParseEngine(*engineFlag)
@@ -114,15 +115,24 @@ func main() {
 	defer stop()
 
 	tr := traceArgs{on: *traceOn, out: *traceOut, epoch: *traceEpoch}
+	wd := nuba.WatchdogOptions{NoProgressCycles: *watchdog}
 	if len(benches) == 1 {
-		err = runOne(ctx, cfg, benches[0], tr, engine)
+		err = runOne(ctx, cfg, benches[0], tr, engine, wd)
 	} else {
-		err = runMany(ctx, cfg, benches, *jobs, *verbose, tr, engine)
+		err = runMany(ctx, cfg, benches, *jobs, *verbose, tr, engine, wd)
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "nubasim: interrupted")
 			os.Exit(130)
+		}
+		// A detected hang carries a structured report naming the stuck
+		// components; print it in full before the one-line error. Every
+		// other failure — including a recovered simulator panic — is the
+		// one-line error alone.
+		var hang *nuba.HangError
+		if errors.As(err, &hang) {
+			fmt.Fprint(os.Stderr, hang.Report.String())
 		}
 		fmt.Fprintln(os.Stderr, "nubasim:", err)
 		os.Exit(1)
@@ -175,7 +185,7 @@ func openTrace(prefix string, epoch int64) (*nuba.TraceOptions, []*sink, error) 
 }
 
 // runOne simulates a single benchmark and prints the full statistics.
-func runOne(ctx context.Context, cfg nuba.Config, b nuba.Benchmark, tr traceArgs, engine nuba.Engine) error {
+func runOne(ctx context.Context, cfg nuba.Config, b nuba.Benchmark, tr traceArgs, engine nuba.Engine, wd nuba.WatchdogOptions) error {
 	fmt.Printf("running %s (%s) on %s...\n", b.Abbr, b.Name, cfg.Name())
 	var topts *nuba.TraceOptions
 	var sinks []*sink
@@ -186,7 +196,7 @@ func runOne(ctx context.Context, cfg nuba.Config, b nuba.Benchmark, tr traceArgs
 			return err
 		}
 	}
-	res, err := nuba.Run(ctx, cfg, b, nuba.WithTrace(topts), nuba.WithEngine(engine))
+	res, err := nuba.Run(ctx, cfg, b, nuba.WithTrace(topts), nuba.WithEngine(engine), nuba.WithWatchdog(wd))
 	for _, s := range sinks {
 		if cerr := s.Close(); cerr != nil && err == nil {
 			err = cerr
@@ -265,13 +275,13 @@ func npbChart(path string) (string, error) {
 
 // runMany simulates the benchmarks across a worker pool and prints a
 // compact table in input order (independent of completion order).
-func runMany(ctx context.Context, cfg nuba.Config, benches []nuba.Benchmark, jobs int, verbose bool, tr traceArgs, engine nuba.Engine) error {
+func runMany(ctx context.Context, cfg nuba.Config, benches []nuba.Benchmark, jobs int, verbose bool, tr traceArgs, engine nuba.Engine, wd nuba.WatchdogOptions) error {
 	workers := jobs
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	fmt.Printf("running %d benchmarks on %s (%d workers)...\n", len(benches), cfg.Name(), workers)
-	opts := []nuba.RunOption{nuba.WithWorkers(jobs), nuba.WithEngine(engine)}
+	opts := []nuba.RunOption{nuba.WithWorkers(jobs), nuba.WithEngine(engine), nuba.WithWatchdog(wd)}
 	if verbose {
 		opts = append(opts, nuba.WithProgress(func(ev nuba.RunEvent) {
 			fmt.Fprintf(os.Stderr, "  [%d/%d] %-7s cycles=%-9d elapsed=%s\n",

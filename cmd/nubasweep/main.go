@@ -44,6 +44,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-run progress")
 	list := flag.Bool("list", false, "list experiments and benchmarks")
 	engineFlag := flag.String("engine", "hybrid", nuba.EngineUsage())
+	watchdog := flag.Int64("watchdog", 0, "fail a run once no component state changes for this many cycles while work is pending (0 = off)")
+	retries := flag.Int("retries", 0, "retries per job for transient failures")
 	flag.Parse()
 
 	engine, err := nuba.ParseEngine(*engineFlag)
@@ -71,7 +73,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nubasweep: -exp required (or -list)")
 		os.Exit(2)
 	}
-	opts := experiments.Options{Scale: *scale, Jobs: *jobs, Engine: engine}
+	opts := experiments.Options{Scale: *scale, Jobs: *jobs, Engine: engine,
+		Watchdog: *watchdog, Retries: *retries}
 	if *verbose {
 		opts.OnEvent = progressPrinter(os.Stderr)
 	}
@@ -105,5 +108,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nubasweep:", err)
 		os.Exit(1)
 	}
-	fmt.Print(report)
+	fmt.Print(report.Text)
+	if n := len(report.Failures); n > 0 {
+		// The failed jobs are already detailed in the report's failures
+		// section; exit non-zero so sweeps in scripts and CI notice.
+		fmt.Fprintf(os.Stderr, "nubasweep: %d job(s) failed; the report above is partial\n", n)
+		os.Exit(1)
+	}
 }

@@ -227,8 +227,8 @@ func (g *GPU) nextWake() sim.Cycle {
 	if g.tracer != nil && g.tr.next < wake {
 		wake = g.tr.next
 	}
-	if g.testHintBias != 0 && wake != sim.Never {
-		wake += g.testHintBias
+	if f := g.flt; f != nil && f.hintBias != 0 && wake != sim.Never {
+		wake += f.hintBias
 	}
 	return wake
 }

@@ -69,11 +69,12 @@ type GPU struct {
 	// machine busy. Purely an engine-speed knob — never observable in
 	// simulated state.
 	busyStride sim.Cycle
-	// testHintBias, when non-zero, is added to every future wake the
-	// hint scan reports — a deliberately unsound hint the sanitizer
-	// tests inject to prove EngineSanitize catches bad hints. Never set
-	// outside tests.
-	testHintBias sim.Cycle
+	// flt is the nil-gated core-level fault-injection state (hint bias,
+	// scheduled panic; see fault.go). Never set outside tests.
+	flt *coreFault
+	// wd is the forward-progress watchdog, nil unless armed with
+	// SetWatchdog (see watchdog.go).
+	wd *watchdog
 
 	// migQueue holds background page-copy traffic awaiting channel space.
 	migQueue    *sim.Queue[*sim.MemReq]

@@ -115,9 +115,19 @@ func (g *GPU) runUntilIdle(ctx context.Context) error {
 		default:
 			g.advanceTo(target)
 		}
+		if f := g.flt; f != nil && f.panicAt > 0 && g.cycle >= f.panicAt {
+			panic(fmt.Sprintf("core: injected fault: panic at cycle %d", g.cycle))
+		}
 		if g.quiet() {
 			g.stats.Cycles = int64(g.cycle)
 			return nil
+		}
+		if g.wd != nil {
+			if err := g.wd.check(g); err != nil {
+				g.stats.Cycles = int64(g.cycle)
+				g.collect()
+				return err
+			}
 		}
 		if int64(g.cycle) >= g.cfg.MaxCycles {
 			g.hitMaxCycles = true

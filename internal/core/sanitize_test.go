@@ -40,7 +40,7 @@ func TestSanitizeCatchesInjectedBadHint(t *testing.T) {
 	run := func(e Engine, bias int64) error {
 		g := MustNew(tinyConfig(config.NUBA))
 		g.SetEngine(e)
-		g.testHintBias = bias
+		g.InjectHintBias(bias)
 		l := tinyLaunch(t, g, 32, 4)
 		return g.RunProgram([]*kir.Launch{l})
 	}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/nuba-gpu/nuba/internal/sim"
+)
+
+// The forward-progress watchdog. A wedged component can keep the cycle
+// loop spinning — its wake hint claims "next cycle" forever while its
+// state never changes — and the run only dies at MaxCycles, tens of
+// millions of cycles later, with no diagnosis. The watchdog reuses the
+// sanitizer's per-component StateSig probes as a progress signature: if
+// the signature holds still for a full window of cycles while work is
+// outstanding, the run fails immediately with a structured HangReport
+// naming the stuck components, their queue depths and their last wake
+// hints. A second, instant check catches true deadlocks: every
+// component hint at sim.Never while quiet() is false means nothing can
+// ever run again (e.g. a dropped DRAM reply wedging an MSHR).
+//
+// The watchdog only reads the same pure signatures the sanitizer reads,
+// so arming it cannot perturb the simulation: runs are byte-identical
+// with the watchdog on or off.
+
+// watchdog holds the armed watchdog's state (see GPU.SetWatchdog).
+type watchdog struct {
+	window       sim.Cycle // fail after this many cycles without progress
+	every        sim.Cycle // signature sampling interval
+	nextCheck    sim.Cycle
+	lastSig      uint64
+	lastProgress sim.Cycle
+	primed       bool
+}
+
+// SetWatchdog arms the forward-progress watchdog: the run fails with a
+// *HangError if no component state signature changes for window cycles
+// while work is outstanding. window <= 0 disarms. Signatures are
+// sampled every window/4 cycles (at least once per batch), so detection
+// lands within ~1.25 windows of the actual stall.
+func (g *GPU) SetWatchdog(window sim.Cycle) {
+	if window <= 0 {
+		g.wd = nil
+		return
+	}
+	every := window / 4
+	if every < batchCycles {
+		every = batchCycles
+	}
+	g.wd = &watchdog{window: window, every: every}
+}
+
+// check runs at batch boundaries while work is outstanding. It returns
+// a *HangError when the progress signature has been frozen for a full
+// window, or immediately when no component will ever wake again.
+func (wd *watchdog) check(g *GPU) error {
+	if g.cycle < wd.nextCheck {
+		return nil
+	}
+	wd.nextCheck = g.cycle + wd.every
+	// Deadlock fast path: quiet() is false (checked by the caller) yet
+	// no component has a future event — nothing can ever run again.
+	if g.componentWake() == sim.Never {
+		return &HangError{Report: g.CaptureHang("deadlock", 0, g.cycle)}
+	}
+	sig := g.progressSig()
+	if !wd.primed || sig != wd.lastSig {
+		wd.primed = true
+		wd.lastSig = sig
+		wd.lastProgress = g.cycle
+		return nil
+	}
+	if g.cycle-wd.lastProgress >= wd.window {
+		return &HangError{Report: g.CaptureHang("no-progress", wd.window, wd.lastProgress)}
+	}
+	return nil
+}
+
+// progressSig folds every ticked component's StateSig into one progress
+// signature. Unlike the sanitizer's probe set it excludes pure
+// time-driven state — the MDR controller's epoch clock, the migration
+// scan and trace timers — which advances even while the machine is
+// wedged and would mask a hang.
+func (g *GPU) progressSig() uint64 {
+	h := sim.MixSig(sim.SigSeed, uint64(g.migQueue.Len()))
+	h = sim.MixSig(h, uint64(g.invalQueue.Len()))
+	h = sim.MixSig(h, uint64(len(g.migFillRetry)))
+	h = sim.MixSig(h, g.reqID)
+	for _, s := range g.sms {
+		h = sim.MixSig(h, s.StateSig())
+	}
+	for _, x := range g.reqXbars {
+		h = sim.MixSig(h, x.StateSig())
+	}
+	for _, x := range g.replyXbars {
+		h = sim.MixSig(h, x.StateSig())
+	}
+	for _, l := range g.smReqLinks {
+		h = sim.MixSig(h, l.StateSig())
+	}
+	for _, l := range g.sliceReplyLinks {
+		h = sim.MixSig(h, l.StateSig())
+	}
+	for _, l := range g.interHalf {
+		if l != nil {
+			h = sim.MixSig(h, l.StateSig())
+		}
+	}
+	for _, row := range g.interModule {
+		for _, l := range row {
+			if l != nil {
+				h = sim.MixSig(h, l.StateSig())
+			}
+		}
+	}
+	for _, sl := range g.slices {
+		h = sim.MixSig(h, sl.StateSig())
+	}
+	for _, ch := range g.chans {
+		h = sim.MixSig(h, ch.StateSig())
+	}
+	h = sim.MixSig(h, g.vmsys.StateSig())
+	return h
+}
+
+// ComponentState is one stuck component in a HangReport.
+type ComponentState struct {
+	// Name identifies the component ("SM 3", "LLC slice 0", ...), using
+	// the same naming as the sanitizer diagnostics.
+	Name string
+	// Wake is the component's claimed next wake-up cycle (sim.Never
+	// means it is only waiting on external input).
+	Wake sim.Cycle
+	// Detail is the component's DebugState / queue-depth summary.
+	Detail string
+}
+
+// HangReport describes a detected hang: when it was declared, how long
+// the machine had made no progress, and every component still holding
+// work with its last wake hint and queue state.
+type HangReport struct {
+	// Cycle is when the watchdog declared the hang.
+	Cycle sim.Cycle
+	// LastProgress is the last cycle at which the progress signature
+	// changed (equal to Cycle for deadlock reports).
+	LastProgress sim.Cycle
+	// Window is the configured no-progress window (0 for deadlock
+	// reports, which fire instantly).
+	Window sim.Cycle
+	// Reason is "no-progress" (signature frozen for Window cycles) or
+	// "deadlock" (no component will ever wake while work is pending).
+	Reason string
+	// Stuck lists the components still holding work (capped at
+	// hangReportMaxStuck entries; stuckAll counts them all).
+	Stuck    []ComponentState
+	stuckAll int
+}
+
+// hangReportMaxStuck caps the per-report component listing; the
+// remainder is summarized as a count.
+const hangReportMaxStuck = 16
+
+// String renders the full multi-line report.
+func (r *HangReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hang detected at cycle %d (%s)", r.Cycle, r.Reason)
+	if r.Reason == "no-progress" {
+		fmt.Fprintf(&b, ": no component state change since cycle %d (window %d)", r.LastProgress, r.Window)
+	}
+	b.WriteByte('\n')
+	for _, c := range r.Stuck {
+		wake := "never"
+		if c.Wake != sim.Never {
+			wake = fmt.Sprintf("%+d", c.Wake-r.Cycle)
+		}
+		fmt.Fprintf(&b, "  %-24s wake=%-8s %s\n", c.Name, wake, c.Detail)
+	}
+	if extra := r.stuckAll - len(r.Stuck); extra > 0 {
+		fmt.Fprintf(&b, "  ... and %d more pending components\n", extra)
+	}
+	return b.String()
+}
+
+// HangError wraps a HangReport as the run error. Error() is a single
+// line naming the first stuck component; the full report is available
+// via the Report field.
+type HangError struct {
+	Report HangReport
+}
+
+func (e *HangError) Error() string {
+	first := "no pending component identified"
+	if len(e.Report.Stuck) > 0 {
+		c := e.Report.Stuck[0]
+		first = fmt.Sprintf("first stuck: %s (%s)", c.Name, c.Detail)
+	}
+	if e.Report.Reason == "no-progress" {
+		return fmt.Sprintf("core: watchdog: no forward progress for %d cycles at cycle %d; %s",
+			e.Report.Cycle-e.Report.LastProgress, e.Report.Cycle, first)
+	}
+	return fmt.Sprintf("core: watchdog: deadlock at cycle %d: work pending but every wake hint is Never; %s",
+		e.Report.Cycle, first)
+}
+
+// CaptureHang assembles a HangReport naming every component that still
+// holds work, with its wake hint and debug summary. Besides the
+// watchdog it serves post-hoc diagnosis (e.g. a wall-clock budget
+// expiring in the caller).
+func (g *GPU) CaptureHang(reason string, window sim.Cycle, lastProgress sim.Cycle) HangReport {
+	r := HangReport{
+		Cycle:        g.cycle,
+		LastProgress: lastProgress,
+		Window:       window,
+		Reason:       reason,
+	}
+	now := g.cycle
+	add := func(name string, wake sim.Cycle, detail string) {
+		r.stuckAll++
+		if len(r.Stuck) < hangReportMaxStuck {
+			r.Stuck = append(r.Stuck, ComponentState{Name: name, Wake: wake, Detail: detail})
+		}
+	}
+	for i, s := range g.sms {
+		if !s.Idle() {
+			add(fmt.Sprintf("SM %d", i), s.NextWake(now), s.DebugState())
+		}
+	}
+	for i, x := range g.reqXbars {
+		if x.Pending() {
+			add(fmt.Sprintf("req crossbar %d", i), x.NextEvent(now), fmt.Sprintf("occupancy=%d", x.Occupancy()))
+		}
+	}
+	for i, x := range g.replyXbars {
+		if x.Pending() {
+			add(fmt.Sprintf("reply crossbar %d", i), x.NextEvent(now), fmt.Sprintf("occupancy=%d", x.Occupancy()))
+		}
+	}
+	for i, l := range g.smReqLinks {
+		if l.Pending() > 0 {
+			add(fmt.Sprintf("SM-request link %d", i), l.NextReady(), fmt.Sprintf("pending=%d", l.Pending()))
+		}
+	}
+	for i, l := range g.sliceReplyLinks {
+		if l.Pending() > 0 {
+			add(fmt.Sprintf("slice-reply link %d", i), l.NextReady(), fmt.Sprintf("pending=%d", l.Pending()))
+		}
+	}
+	for i, l := range g.interHalf {
+		if l != nil && l.Pending() > 0 {
+			add(fmt.Sprintf("inter-half link %d", i), l.NextReady(), fmt.Sprintf("pending=%d", l.Pending()))
+		}
+	}
+	for src, row := range g.interModule {
+		for dst, l := range row {
+			if l != nil && l.Pending() > 0 {
+				add(fmt.Sprintf("inter-module link %d->%d", src, dst), l.NextReady(), fmt.Sprintf("pending=%d", l.Pending()))
+			}
+		}
+	}
+	for i, sl := range g.slices {
+		if sl.Pending() {
+			add(fmt.Sprintf("LLC slice %d", i), sl.NextEvent(now), sl.DebugState())
+		}
+	}
+	div := sim.Cycle(g.cfg.MemClockDiv)
+	memNow := int64(now) / int64(div)
+	for i, ch := range g.chans {
+		if ch.Pending() {
+			wake := sim.Never
+			if t, ok := ch.NextEvent(); ok {
+				// Convert the memory-cycle event to the next core cycle
+				// on a mem-clock boundary at or after it.
+				mc := sim.Cycle(t) * div
+				if next := (now/div + 1) * div; mc < next {
+					mc = next
+				}
+				wake = mc
+			}
+			add(fmt.Sprintf("DRAM channel %d", i), wake, ch.DebugState(memNow))
+		}
+	}
+	if g.vmsys.Pending() {
+		add("vm system", g.vmsys.NextEvent(), "in-flight page walks")
+	}
+	if !g.migQueue.Empty() || !g.invalQueue.Empty() || len(g.migFillRetry) > 0 {
+		add("core queues", now+1, fmt.Sprintf("migQ=%d invalQ=%d fillRetry=%d",
+			g.migQueue.Len(), g.invalQueue.Len(), len(g.migFillRetry)))
+	}
+	return r
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/nuba-gpu/nuba/internal/config"
+	"github.com/nuba-gpu/nuba/internal/kir"
+	"github.com/nuba-gpu/nuba/internal/sim"
+)
+
+// wdRun runs the tiny kernel with an optional fault armed and the
+// watchdog set to window.
+func wdRun(t *testing.T, window sim.Cycle, arm func(g *GPU) error) (*GPU, error) {
+	t.Helper()
+	g := MustNew(tinyConfig(config.NUBA))
+	if arm != nil {
+		if err := arm(g); err != nil {
+			t.Fatalf("arm: %v", err)
+		}
+	}
+	g.SetWatchdog(window)
+	l := tinyLaunch(t, g, 32, 4)
+	return g, g.RunProgram([]*kir.Launch{l})
+}
+
+// A clean run must be untouched by the watchdog: same cycle count as an
+// unwatched run, no error. The watchdog only reads pure signatures.
+func TestWatchdogCleanRunIdentical(t *testing.T) {
+	gOff, err := wdRun(t, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gOn, err := wdRun(t, 4096, nil)
+	if err != nil {
+		t.Fatalf("watchdog flagged a healthy run: %v", err)
+	}
+	if a, b := gOff.Stats().Cycles, gOn.Stats().Cycles; a != b {
+		t.Fatalf("watchdog perturbed the run: %d cycles unwatched, %d watched", a, b)
+	}
+}
+
+// A wedged SM freezes the machine with work outstanding; the watchdog
+// must fail the run with a structured report naming stuck components.
+func TestWatchdogCatchesWedgedSM(t *testing.T) {
+	_, err := wdRun(t, 8192, func(g *GPU) error { return g.InjectWedgedSM(0, 2000) })
+	var he *HangError
+	if !errors.As(err, &he) {
+		t.Fatalf("want *HangError, got %v", err)
+	}
+	r := he.Report
+	if r.Reason != "no-progress" && r.Reason != "deadlock" {
+		t.Fatalf("unexpected reason %q", r.Reason)
+	}
+	if len(r.Stuck) == 0 {
+		t.Fatal("report names no stuck components")
+	}
+	if !strings.Contains(r.String(), "SM 0") {
+		t.Errorf("report does not name the wedged SM:\n%s", r.String())
+	}
+	if !strings.Contains(err.Error(), "watchdog") {
+		t.Errorf("one-line error does not identify the watchdog: %v", err)
+	}
+}
+
+// A dropped DRAM reply leaves an MSHR waiting forever: every wake hint
+// goes to Never while work is pending, so the deadlock fast path fires
+// at the next check — no full no-progress window needed.
+func TestWatchdogCatchesDroppedDRAMReply(t *testing.T) {
+	_, err := wdRun(t, 1<<20, func(g *GPU) error { return g.InjectDRAMReplyDrop(0, 3) })
+	var he *HangError
+	if !errors.As(err, &he) {
+		t.Fatalf("want *HangError, got %v", err)
+	}
+	if he.Report.Reason != "deadlock" {
+		t.Fatalf("want deadlock report, got %q:\n%s", he.Report.Reason, he.Report.String())
+	}
+	if he.Report.Cycle >= 1<<20 {
+		t.Fatalf("deadlock detection waited for the no-progress window (cycle %d)", he.Report.Cycle)
+	}
+}
+
+// A stalled LLC slice and a stalled request crossbar both freeze the
+// progress signature while claiming next-cycle wakes: the no-progress
+// path must catch each within ~1.25 windows of the stall.
+func TestWatchdogCatchesStalls(t *testing.T) {
+	for name, arm := range map[string]func(g *GPU) error{
+		"llc": func(g *GPU) error { return g.InjectLLCStall(0, 2000, 0) },
+		"noc": func(g *GPU) error { return g.InjectNoCStall(0, 2000) },
+	} {
+		_, err := wdRun(t, 8192, arm)
+		var he *HangError
+		if !errors.As(err, &he) {
+			t.Fatalf("%s: want *HangError, got %v", name, err)
+		}
+		if max := sim.Cycle(2000 + 8192*2); he.Report.Cycle > max {
+			t.Errorf("%s: detection at cycle %d, want <= %d", name, he.Report.Cycle, max)
+		}
+	}
+}
+
+// A slow-but-live component makes progress every period; the watchdog
+// must not flag it as long as the window exceeds the period.
+func TestWatchdogSlowComponentNoFalsePositive(t *testing.T) {
+	_, err := wdRun(t, 32768, func(g *GPU) error { return g.InjectLLCSlow(0, 2000, 64) })
+	if err != nil {
+		t.Fatalf("watchdog flagged a slow-but-live run: %v", err)
+	}
+}
+
+// A transient stall shorter than the window must ride through cleanly,
+// and the run must still complete with the right result.
+func TestWatchdogToleratesTransientStall(t *testing.T) {
+	clean, err := wdRun(t, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := wdRun(t, 32768, func(g *GPU) error { return g.InjectLLCStall(0, 2000, 4000) })
+	if err != nil {
+		t.Fatalf("watchdog flagged a transient stall: %v", err)
+	}
+	if g.Stats().Cycles < clean.Stats().Cycles {
+		t.Fatalf("stalled run finished in %d cycles, faster than the clean run's %d",
+			g.Stats().Cycles, clean.Stats().Cycles)
+	}
+}
+
+// Inject* must validate component indices rather than panic.
+func TestInjectValidatesTargets(t *testing.T) {
+	g := MustNew(tinyConfig(config.NUBA))
+	for name, err := range map[string]error{
+		"sm":    g.InjectWedgedSM(10_000, 0),
+		"llc":   g.InjectLLCStall(-1, 0, 0),
+		"noc":   g.InjectNoCStall(99, 0),
+		"dram":  g.InjectDRAMReplyDrop(-3, 0),
+		"slow":  g.InjectLLCSlow(0, 0, 0), // bad period
+		"slow2": g.InjectLLCSlow(77, 0, 8),
+	} {
+		if err == nil {
+			t.Errorf("%s: out-of-range injection accepted", name)
+		}
+	}
+}
+
+// The report renders wake hints relative to the hang cycle and caps the
+// component listing.
+func TestHangReportRendering(t *testing.T) {
+	r := HangReport{
+		Cycle: 1000, LastProgress: 500, Window: 400, Reason: "no-progress",
+		Stuck: []ComponentState{
+			{Name: "SM 0", Wake: 1001, Detail: "warps=3"},
+			{Name: "LLC slice 1", Wake: sim.Never, Detail: "mshr=2"},
+		},
+		stuckAll: 20,
+	}
+	s := r.String()
+	for _, want := range []string{"cycle 1000", "no-progress", "SM 0", "wake=+1", "wake=never", "18 more pending"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	e := &HangError{Report: r}
+	if msg := e.Error(); !strings.Contains(msg, "SM 0") || strings.Contains(msg, "\n") {
+		t.Errorf("one-line error must name the first stuck component on a single line: %q", msg)
+	}
+}
+
+// An injected panic escapes the core (isolation is the experiment
+// pool's job, not the model's).
+func TestInjectPanicFires(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("injected panic did not fire")
+		}
+		if !strings.Contains(fmt.Sprint(r), "injected fault") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	g := MustNew(tinyConfig(config.NUBA))
+	g.InjectPanic(1000)
+	l := tinyLaunch(t, g, 32, 4)
+	_ = g.RunProgram([]*kir.Launch{l})
+}

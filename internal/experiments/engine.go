@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"github.com/nuba-gpu/nuba"
@@ -39,57 +41,105 @@ func (r *Runner) workers() int {
 // benchmarks in presentation order and every simulation is deterministic
 // given its configuration. A canceled ctx stops scheduling promptly and
 // surfaces an error wrapping ctx.Err().
-func (r *Runner) Execute(ctx context.Context, e Experiment) (string, error) {
+//
+// A failed job does not abort the experiment: the pool records it (see
+// JobFailure), the failing benchmark is excluded from the rendered
+// tables, and the partial report carries an explicit failures section.
+// Execute only errors when the context is canceled, when rendering
+// itself breaks, or when every benchmark failed.
+func (r *Runner) Execute(ctx context.Context, e Experiment) (*Report, error) {
 	if e.Plan != nil {
 		if err := r.Prefetch(ctx, e.Plan(r)); err != nil {
-			return "", err
+			return nil, err
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return "", err
+		return nil, err
 	}
-	return e.Run(r)
+
+	// Render from the warm cache, degrading to a partial view when jobs
+	// failed: a benchmark with any terminal failure is dropped from
+	// r.opts.Benchmarks (every renderer walks that list) and reported in
+	// the failures section instead. Rendering can itself surface new
+	// failures — an uncached (config, benchmark) pair a renderer
+	// simulates inline — so the filter loop repeats until a render
+	// succeeds or stops producing new failures.
+	orig := r.opts.Benchmarks
+	defer func() { r.opts.Benchmarks = orig }()
+	for tries := 0; tries <= len(orig); tries++ {
+		failed := r.failedBenches()
+		if len(failed) > 0 {
+			kept := make([]workload.Benchmark, 0, len(orig))
+			for _, b := range orig {
+				if !failed[b.Abbr] {
+					kept = append(kept, b)
+				}
+			}
+			if len(kept) == 0 {
+				return &Report{Failures: r.Failures()},
+					fmt.Errorf("experiments: %s: every benchmark failed (%d job failures)", e.Name, r.failureCount())
+			}
+			r.opts.Benchmarks = kept
+		}
+		before := r.failureCount()
+		text, err := e.Run(r)
+		if err != nil {
+			if ctx.Err() != nil || r.failureCount() == before {
+				return nil, err
+			}
+			continue // new failures during render: re-filter and re-render
+		}
+		rep := &Report{Text: text, Failures: r.Failures()}
+		if len(rep.Failures) > 0 {
+			rep.Text += failuresSection(rep.Failures)
+		}
+		return rep, nil
+	}
+	return nil, fmt.Errorf("experiments: %s: rendering kept failing with new job failures", e.Name)
+}
+
+// failuresSection renders the explicit failures block appended to a
+// partial report.
+func failuresSection(fs []JobFailure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nFAILED JOBS (%d) — the tables above exclude these benchmarks:\n", len(fs))
+	for _, f := range fs {
+		kind := "error"
+		if f.Panic {
+			kind = "panic"
+		}
+		fmt.Fprintf(&b, "  %-16s %-8s %s after %d attempt(s): %s\n", f.Config, f.Bench, kind, f.Attempts, f.Err)
+	}
+	return b.String()
 }
 
 // Prefetch simulates the given jobs across the worker pool, deduplicating
-// against each other and against runs already cached. It returns the
-// first simulation error (canceling the rest), or ctx's error if the
-// context was canceled.
+// against each other and against runs already cached. Job failures are
+// recorded on the runner (see Failures) without canceling the remaining
+// jobs; Prefetch itself only errors when the context is canceled.
 func (r *Runner) Prefetch(ctx context.Context, jobs []Job) error {
 	fresh := r.admit(jobs)
 	if len(fresh) == 0 {
 		return ctx.Err()
 	}
 
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
 	workers := r.workers()
 	if workers > len(fresh) {
 		workers = len(fresh)
 	}
-	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		firstErr error
-	)
+	var wg sync.WaitGroup
 	ch := make(chan Job)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range ch {
-				if runCtx.Err() != nil {
+				if ctx.Err() != nil {
 					continue // drain without simulating after cancel
 				}
-				if _, err := r.runCtx(runCtx, j.Config, j.Bench); err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-						cancel()
-					}
-					errMu.Unlock()
-				}
+				// Errors are recorded by runCtx; one bad job must not
+				// take down the rest of the sweep.
+				_, _ = r.runCtx(ctx, j.Config, j.Bench)
 			}
 		}()
 	}
@@ -97,15 +147,12 @@ feed:
 	for _, j := range fresh {
 		select {
 		case ch <- j:
-		case <-runCtx.Done():
+		case <-ctx.Done():
 			break feed
 		}
 	}
 	close(ch)
 	wg.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
 	return ctx.Err()
 }
 

@@ -81,8 +81,11 @@ func TestParallelMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if serialOut != parOut {
-		t.Fatalf("jobs=4 report differs from jobs=1:\n--- serial ---\n%s\n--- jobs=4 ---\n%s", serialOut, parOut)
+	if serialOut.Text != parOut.Text {
+		t.Fatalf("jobs=4 report differs from jobs=1:\n--- serial ---\n%s\n--- jobs=4 ---\n%s", serialOut.Text, parOut.Text)
+	}
+	if len(serialOut.Failures) != 0 || len(parOut.Failures) != 0 {
+		t.Fatalf("unexpected job failures: serial %v, parallel %v", serialOut.Failures, parOut.Failures)
 	}
 	if len(serial.cache) == 0 || len(serial.cache) != len(par.cache) {
 		t.Fatalf("cache sizes differ: serial %d, parallel %d", len(serial.cache), len(par.cache))

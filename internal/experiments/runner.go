@@ -15,6 +15,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"github.com/nuba-gpu/nuba"
+	"github.com/nuba-gpu/nuba/internal/fault"
 	"github.com/nuba-gpu/nuba/internal/metrics"
 	"github.com/nuba-gpu/nuba/internal/workload"
 )
@@ -57,6 +59,57 @@ type Options struct {
 	// cycle-exact, so the engine changes only how fast a job simulates,
 	// never its result.
 	Engine nuba.Engine
+	// Watchdog arms each run's forward-progress watchdog: the run fails
+	// with a structured hang report once no component state changes for
+	// this many simulated cycles while work is outstanding (0 = off).
+	// The watchdog reads only pure state signatures, so results are
+	// byte-identical with it on or off; like Trace and Engine it never
+	// enters the memo key.
+	Watchdog int64
+	// Faults, when non-nil, maps (config, benchmark) jobs to injected
+	// fault specs and transient failures — the seeded stress matrix
+	// (see internal/fault and docs/ROBUSTNESS.md). Production sweeps
+	// leave it nil.
+	Faults *fault.Plan
+	// Retries is how many times a failed job is re-attempted when its
+	// error is transient (implements `Transient() bool`). Deterministic
+	// failures — hangs, panics, model errors — are never retried.
+	Retries int
+	// RetryBackoff is the base wait between retry attempts; the wait
+	// grows linearly with the attempt number, is capped at 2s, and
+	// aborts promptly when the context is canceled. Zero selects 50ms.
+	RetryBackoff time.Duration
+}
+
+// JobFailure records one job the pool gave up on: the failing
+// configuration and benchmark, the final error, whether it was a
+// recovered panic (with the stack), and how many attempts were made.
+// The slice of these is the report's explicit failures section — the
+// schema is documented in docs/ROBUSTNESS.md.
+type JobFailure struct {
+	// Config is the configuration's display name; Fingerprint its
+	// canonical identity (the memo key prefix).
+	Config      string
+	Fingerprint string
+	// Bench is the benchmark abbreviation.
+	Bench string
+	// Err is the final attempt's error text.
+	Err string
+	// Panic reports whether the failure was a recovered simulator
+	// panic; Stack then holds the panicking goroutine's stack.
+	Panic bool
+	Stack string
+	// Attempts is the number of attempts made (1 = no retries).
+	Attempts int
+}
+
+// Report is a rendered experiment plus the jobs that could not be
+// simulated. A non-empty Failures means Text is a partial report: the
+// failed benchmarks are excluded from every table and listed in the
+// trailing failures section instead.
+type Report struct {
+	Text     string
+	Failures []JobFailure
 }
 
 // Runner executes experiments, memoizing runs shared between figures
@@ -66,11 +119,12 @@ type Options struct {
 type Runner struct {
 	opts Options
 
-	mu      sync.Mutex
-	cache   map[string]*cacheEntry
-	planned int       // jobs scheduled across Execute/Prefetch calls
-	done    int       // simulations completed
-	started time.Time // first simulation start, for elapsed/ETA
+	mu       sync.Mutex
+	cache    map[string]*cacheEntry
+	failures map[string]JobFailure // terminally failed jobs, by jobKey
+	planned  int                   // jobs scheduled across Execute/Prefetch calls
+	done     int                   // simulations completed
+	started  time.Time             // first simulation start, for elapsed/ETA
 }
 
 // cacheEntry is one singleflight slot: the first requester simulates and
@@ -89,7 +143,11 @@ func NewRunner(opts Options) *Runner {
 	if len(opts.Benchmarks) == 0 {
 		opts.Benchmarks = workload.Suite()
 	}
-	return &Runner{opts: opts, cache: make(map[string]*cacheEntry)}
+	return &Runner{
+		opts:     opts,
+		cache:    make(map[string]*cacheEntry),
+		failures: make(map[string]JobFailure),
+	}
 }
 
 // Experiment is a named, runnable reproduction of one paper artifact.
@@ -157,8 +215,10 @@ func (r *Runner) run(cfg nuba.Config, b workload.Benchmark) (*nuba.Result, error
 
 // runCtx is run under a context, with singleflight memoization: the first
 // caller of a (config, benchmark) pair simulates it, concurrent callers
-// block until it completes, later callers hit the cache. A failed or
-// canceled run is evicted so a retry can re-simulate.
+// block until it completes, later callers hit the cache. A canceled run
+// is evicted so a later call can re-simulate; a deterministically failed
+// run stays cached with its error (re-running would fail identically)
+// and is recorded as a JobFailure.
 func (r *Runner) runCtx(ctx context.Context, cfg nuba.Config, b workload.Benchmark) (*nuba.Result, error) {
 	key := jobKey(&cfg, b.Abbr)
 	r.mu.Lock()
@@ -176,26 +236,139 @@ func (r *Runner) runCtx(ctx context.Context, cfg nuba.Config, b workload.Benchma
 	r.markStarted()
 	r.mu.Unlock()
 
-	var topts *nuba.TraceOptions
-	if r.opts.Trace != nil {
-		topts = r.opts.Trace(cfg.Name(), b.Abbr)
-	}
-	res, err := nuba.Run(ctx, cfg, b, nuba.WithTrace(topts), nuba.WithEngine(r.opts.Engine))
+	res, attempts, err := r.simulate(ctx, cfg, b)
 	if err != nil {
 		err = fmt.Errorf("%s on %s: %w", b.Abbr, cfg.Name(), err)
 	}
 	e.res, e.err = res, err
 
 	r.mu.Lock()
-	if err != nil {
-		delete(r.cache, key)
-	} else {
+	switch {
+	case err == nil:
 		r.done++
 		r.emitLocked(cfg.Name(), b.Abbr, res)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		delete(r.cache, key)
+	default:
+		r.recordFailureLocked(key, &cfg, b, err, attempts)
 	}
 	r.mu.Unlock()
 	close(e.ready)
 	return res, err
+}
+
+// simulate executes one run with the runner's watchdog, fault plan and
+// bounded ctx-aware retry policy applied. It returns the attempt count
+// alongside the final result.
+func (r *Runner) simulate(ctx context.Context, cfg nuba.Config, b workload.Benchmark) (*nuba.Result, int, error) {
+	var topts *nuba.TraceOptions
+	if r.opts.Trace != nil {
+		topts = r.opts.Trace(cfg.Name(), b.Abbr)
+	}
+	opts := []nuba.RunOption{nuba.WithTrace(topts), nuba.WithEngine(r.opts.Engine)}
+	if r.opts.Watchdog > 0 {
+		opts = append(opts, nuba.WithWatchdog(nuba.WatchdogOptions{NoProgressCycles: r.opts.Watchdog}))
+	}
+	if r.opts.Faults != nil {
+		if spec, ok := r.opts.Faults.For(cfg.Name(), b.Abbr); ok {
+			opts = append(opts, nuba.WithArm(spec.Arm))
+		}
+	}
+	for attempts := 1; ; attempts++ {
+		var res *nuba.Result
+		var err error
+		if r.opts.Faults != nil {
+			err = r.opts.Faults.TakeTransientFailure(cfg.Name(), b.Abbr)
+		}
+		if err == nil {
+			res, err = nuba.Run(ctx, cfg, b, opts...)
+		}
+		if err == nil || attempts > r.opts.Retries || !transient(err) || ctx.Err() != nil {
+			return res, attempts, err
+		}
+		// Bounded backoff before the next attempt: base * attempt,
+		// capped, aborted promptly on cancellation.
+		d := r.opts.RetryBackoff
+		if d <= 0 {
+			d = 50 * time.Millisecond
+		}
+		d *= time.Duration(attempts)
+		if d > 2*time.Second {
+			d = 2 * time.Second
+		}
+		select {
+		case <-ctx.Done():
+			return nil, attempts, ctx.Err()
+		case <-time.After(d):
+		}
+	}
+}
+
+// transient reports whether err is marked retryable via a
+// `Transient() bool` method anywhere in its chain.
+func transient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// recordFailureLocked files a terminal job failure (r.mu held).
+func (r *Runner) recordFailureLocked(key string, cfg *nuba.Config, b workload.Benchmark, err error, attempts int) {
+	if _, ok := r.failures[key]; ok {
+		return
+	}
+	jf := JobFailure{
+		Config:      cfg.Name(),
+		Fingerprint: cfg.Fingerprint(),
+		Bench:       b.Abbr,
+		Err:         err.Error(),
+		Attempts:    attempts,
+	}
+	var pe *nuba.PanicError
+	if errors.As(err, &pe) {
+		jf.Panic = true
+		jf.Stack = string(pe.Stack)
+	}
+	r.failures[key] = jf
+}
+
+// Failures returns the terminally failed jobs, sorted by configuration
+// then benchmark (deterministic regardless of worker interleaving).
+func (r *Runner) Failures() []JobFailure {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JobFailure, 0, len(r.failures))
+	for _, k := range sortedKeys(r.failures) {
+		out = append(out, r.failures[k])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Config != out[j].Config {
+			return out[i].Config < out[j].Config
+		}
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}
+
+// failedBenches returns the benchmark abbreviations with at least one
+// terminal failure on any configuration.
+func (r *Runner) failedBenches() map[string]bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := make(map[string]bool)
+	for _, k := range sortedKeys(r.failures) {
+		m[r.failures[k].Bench] = true
+	}
+	return m
+}
+
+// failureCount returns the number of terminally failed jobs so far.
+func (r *Runner) failureCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.failures)
 }
 
 // scaled applies the Runner's GPU scale to a configuration.

@@ -1,0 +1,236 @@
+package experiments
+
+// The seeded fault-injection stress matrix (`make stress`): every fault
+// class in internal/fault is injected into a short run and must be
+// caught by the layer docs/ROBUSTNESS.md assigns it to — the
+// forward-progress watchdog (hangs and deadlocks), the sanitize engine
+// (unsound hints), or the experiment pool (panics and transient
+// failures) — while the live-but-degraded faults must NOT trip anything
+// (the false-positive guard). Everything is seeded, so a failure here
+// reproduces exactly.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/nuba-gpu/nuba"
+	"github.com/nuba-gpu/nuba/internal/fault"
+	"github.com/nuba-gpu/nuba/internal/workload"
+)
+
+// stressConfig is the matrix's small, bounded system: big enough to
+// exercise every component class, capped so even an uncaught hang ends
+// the test quickly.
+func stressConfig() nuba.Config {
+	cfg := nuba.NUBAConfig().Scale(0.125)
+	cfg.MaxCycles = 4 << 20
+	return cfg
+}
+
+const (
+	stressSeed   = 0x9ba7_57e5 // arbitrary, fixed: reruns hit identical targets
+	stressWindow = 16384       // watchdog no-progress window for the matrix
+)
+
+func stressBench(t *testing.T, abbr string) workload.Benchmark {
+	t.Helper()
+	b, err := workload.ByAbbr(abbr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestStressMatrix runs one fault class per row against a watchdogged
+// run and asserts the documented detection outcome.
+func TestStressMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed stress matrix")
+	}
+	b := stressBench(t, "MVT")
+	cases := []struct {
+		name   string
+		faults []fault.Fault
+		engine nuba.Engine
+		// want is the required outcome: "clean" (no error), "hang"
+		// (*nuba.HangError), "sanitize" (hint-soundness diagnostic) or
+		// "panic" (*nuba.PanicError).
+		want string
+	}{
+		{"control-clean", nil, nuba.EngineHybrid, "clean"},
+		{"wedge-sm", []fault.Fault{{Kind: fault.WedgeSM, Target: -1, At: 2000}}, nuba.EngineHybrid, "hang"},
+		{"stall-llc", []fault.Fault{{Kind: fault.StallLLC, Target: -1, At: 2000}}, nuba.EngineHybrid, "hang"},
+		{"stall-noc", []fault.Fault{{Kind: fault.StallNoC, Target: -1, At: 2000}}, nuba.EngineHybrid, "hang"},
+		{"drop-dram-reply", []fault.Fault{{Kind: fault.DropDRAMReply, Target: -1, After: 3}}, nuba.EngineHybrid, "hang"},
+		{"slow-llc", []fault.Fault{{Kind: fault.SlowLLC, Target: -1, At: 2000, Period: 64}}, nuba.EngineHybrid, "clean"},
+		{"hint-bias", []fault.Fault{{Kind: fault.HintBias, Bias: 64}}, nuba.EngineSanitize, "sanitize"},
+		{"panic", []fault.Fault{{Kind: fault.PanicAt, At: 2000}}, nuba.EngineHybrid, "panic"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := &fault.Spec{Seed: stressSeed, Faults: tc.faults}
+			run := func() error {
+				_, err := nuba.Run(context.Background(), stressConfig(), b,
+					nuba.WithEngine(tc.engine),
+					nuba.WithWatchdog(nuba.WatchdogOptions{NoProgressCycles: stressWindow}),
+					nuba.WithArm(spec.Arm))
+				return err
+			}
+			err := run()
+			switch tc.want {
+			case "clean":
+				if err != nil {
+					t.Fatalf("injected %s must not trip anything: %v", spec.Describe(), err)
+				}
+			case "hang":
+				var he *nuba.HangError
+				if !errors.As(err, &he) {
+					t.Fatalf("injected %s not caught by the watchdog: %v", spec.Describe(), err)
+				}
+				if len(he.Report.Stuck) == 0 {
+					t.Fatalf("hang report names no stuck components:\n%s", he.Report.String())
+				}
+				// Seeded determinism: the rerun must fail identically,
+				// same victim, same cycle, same report.
+				if err2 := run(); err2 == nil || err2.Error() != err.Error() {
+					t.Fatalf("rerun diverged:\nfirst:  %v\nsecond: %v", err, err2)
+				}
+			case "sanitize":
+				if err == nil || !strings.Contains(err.Error(), "unsound wake hint") {
+					t.Fatalf("injected %s not caught by the sanitize engine: %v", spec.Describe(), err)
+				}
+			case "panic":
+				var pe *nuba.PanicError
+				if !errors.As(err, &pe) {
+					t.Fatalf("injected %s not recovered as a PanicError: %v", spec.Describe(), err)
+				}
+				if len(pe.Stack) == 0 {
+					t.Fatal("recovered panic carries no stack")
+				}
+			}
+		})
+	}
+}
+
+// TestStressPoolIsolatesFailures is the acceptance scenario: a sweep
+// containing one panicking job and one hanging job still renders a
+// report for every healthy benchmark, records both failures with their
+// cause, and marks the report partial.
+func TestStressPoolIsolatesFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed stress matrix")
+	}
+	plan := fault.NewPlan()
+	plan.Add("", "BP", fault.Spec{Seed: stressSeed,
+		Faults: []fault.Fault{{Kind: fault.PanicAt, At: 2000}}})
+	plan.Add("", "SGEMM", fault.Spec{Seed: stressSeed,
+		Faults: []fault.Fault{{Kind: fault.WedgeSM, Target: 0, At: 2000}}})
+
+	benches := []workload.Benchmark{
+		stressBench(t, "BP"), stressBench(t, "SGEMM"), stressBench(t, "MVT"),
+	}
+	r := NewRunner(Options{
+		Scale: 0.125, Benchmarks: benches, Jobs: 2,
+		Watchdog: stressWindow, Faults: plan,
+	})
+	e, err := ByName("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Execute(context.Background(), e)
+	if err != nil {
+		t.Fatalf("a partial sweep must still render: %v", err)
+	}
+	if !strings.Contains(rep.Text, "MVT") {
+		t.Fatalf("healthy benchmark missing from the partial report:\n%s", rep.Text)
+	}
+	if !strings.Contains(rep.Text, "FAILED JOBS") {
+		t.Fatalf("partial report carries no failures section:\n%s", rep.Text)
+	}
+	if len(rep.Failures) != 2 {
+		t.Fatalf("want 2 job failures, got %d: %+v", len(rep.Failures), rep.Failures)
+	}
+	byBench := map[string]JobFailure{}
+	for _, f := range rep.Failures {
+		byBench[f.Bench] = f
+	}
+	if f := byBench["BP"]; !f.Panic || len(f.Stack) == 0 || !strings.Contains(f.Err, "panic") {
+		t.Errorf("BP failure must be a recovered panic with stack: %+v", f)
+	}
+	if f := byBench["SGEMM"]; f.Panic || !strings.Contains(f.Err, "watchdog") {
+		t.Errorf("SGEMM failure must be a watchdog hang: %+v", f)
+	}
+}
+
+// TestStressTransientRetry: an injected flake that fails the first two
+// attempts must be absorbed by the retry policy, while a zero-retry
+// pool records it as a terminal failure after one attempt.
+func TestStressTransientRetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed stress matrix")
+	}
+	bp := stressBench(t, "BP")
+	e, err := ByName("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan := fault.NewPlan()
+	plan.FailTransiently("", "BP", 2)
+	r := NewRunner(Options{
+		Scale: 0.125, Benchmarks: []workload.Benchmark{bp}, Jobs: 1,
+		Faults: plan, Retries: 3, RetryBackoff: time.Millisecond,
+	})
+	rep, err := r.Execute(context.Background(), e)
+	if err != nil {
+		t.Fatalf("retries must absorb a transient failure: %v", err)
+	}
+	if len(rep.Failures) != 0 || !strings.Contains(rep.Text, "BP") {
+		t.Fatalf("flaky-but-recovered job misreported: failures=%+v\n%s", rep.Failures, rep.Text)
+	}
+
+	plan = fault.NewPlan()
+	plan.FailTransiently("", "BP", 2)
+	r = NewRunner(Options{
+		Scale: 0.125, Benchmarks: []workload.Benchmark{bp}, Jobs: 1,
+		Faults: plan, // Retries: 0
+	})
+	_, err = r.Execute(context.Background(), e)
+	if err == nil {
+		t.Fatal("every benchmark failed; Execute must error")
+	}
+	fs := r.Failures()
+	if len(fs) != 1 || fs[0].Attempts != 1 || !strings.Contains(fs[0].Err, "transient") {
+		t.Fatalf("zero-retry pool must fail after one attempt: %+v", fs)
+	}
+}
+
+// TestStressCancelUnderFault: with a stall fault armed and no watchdog,
+// the run can never finish — cancellation must still stop all three
+// engines promptly. Runs under -race via the experiments race target.
+func TestStressCancelUnderFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed stress matrix")
+	}
+	b := stressBench(t, "MVT")
+	for _, engine := range []nuba.Engine{nuba.EngineHybrid, nuba.EngineNaive, nuba.EngineSanitize} {
+		t.Run(engine.String(), func(t *testing.T) {
+			spec := &fault.Spec{Seed: stressSeed,
+				Faults: []fault.Fault{{Kind: fault.StallNoC, Target: 0, At: 1000}}}
+			ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+			defer cancel()
+			start := time.Now()
+			_, err := nuba.Run(ctx, stressConfig(), b,
+				nuba.WithEngine(engine), nuba.WithArm(spec.Arm))
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("want ctx deadline error, got %v", err)
+			}
+			if elapsed := time.Since(start); elapsed > 10*time.Second {
+				t.Fatalf("cancellation took %s; the engine kept spinning", elapsed)
+			}
+		})
+	}
+}

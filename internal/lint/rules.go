@@ -68,6 +68,13 @@ const (
 	// package, unless the writing function is a declared seam
 	// (`writers partition-isolation`). See ownership.go.
 	RulePartitionIsolation = "partition-isolation"
+	// RuleFaultContainment flags module-internal imports of the
+	// fault-injection harness (`writers fault-containment`) from packages
+	// outside the sanctioned importer set (`readers fault-containment`).
+	// The harness is test infrastructure: only the experiment pool — and
+	// _test.go files, which the linter never loads — may reach it, so
+	// injection hooks cannot leak into production simulation paths.
+	RuleFaultContainment = "fault-containment"
 	// RuleDirective reports malformed //nubalint:ignore comments and
 	// nubaunit annotations. It is always on: a directive that silently
 	// fails to parse would hide real findings.
@@ -80,6 +87,7 @@ func AllRules() []string {
 		RuleMapRange, RuleWallclock, RuleLayering, RuleCtx, RuleGoroutine,
 		RuleConfigLive, RuleMetricsLive, RuleUnits, RuleDeprecatedAPI,
 		RuleHintPurity, RuleEngineContract, RulePartitionIsolation,
+		RuleFaultContainment,
 	}
 }
 
@@ -108,12 +116,13 @@ func knownRule(name string) bool {
 // unit-consistency is dispatched separately because it needs the
 // module-wide annotation table (see Run).
 var ruleFuncs = map[string]func(*pkgCtx){
-	RuleMapRange:      checkMapRange,
-	RuleWallclock:     checkWallclock,
-	RuleLayering:      checkLayering,
-	RuleCtx:           checkCtx,
-	RuleGoroutine:     checkGoroutine,
-	RuleDeprecatedAPI: checkDeprecatedAPI,
+	RuleMapRange:         checkMapRange,
+	RuleWallclock:        checkWallclock,
+	RuleLayering:         checkLayering,
+	RuleCtx:              checkCtx,
+	RuleGoroutine:        checkGoroutine,
+	RuleDeprecatedAPI:    checkDeprecatedAPI,
+	RuleFaultContainment: checkFaultContainment,
 }
 
 // progRuleFuncs maps each module-wide rule to its checker; these run
@@ -387,6 +396,51 @@ func allowedList(allowed map[string]bool) string {
 	}
 	sort.Strings(list)
 	return strings.Join(list, " ")
+}
+
+// --- fault-containment -----------------------------------------------
+
+// checkFaultContainment flags imports of the protected fault-injection
+// packages (`writers fault-containment`) from packages outside the
+// sanctioned importer set (`readers fault-containment`). The protected
+// packages may import each other. _test.go files are exempt by
+// construction: the loader never parses them (see goSources), so tests
+// anywhere in the module can arm faults freely.
+func checkFaultContainment(c *pkgCtx) {
+	if !c.pol.InScope(RuleFaultContainment, c.pkg.RelName()) {
+		return
+	}
+	protected := c.pol.Writers(RuleFaultContainment)
+	if len(protected) == 0 {
+		return
+	}
+	sanctioned := c.pol.Readers(RuleFaultContainment)
+	rel := c.pkg.RelName()
+	if matchAnyPkg(protected, rel) || matchAnyPkg(sanctioned, rel) {
+		return
+	}
+	for _, f := range c.pkg.Files {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			impRel, internal := internalRel(c.prog.Mod, p)
+			if !internal || !matchAnyPkg(protected, impRel) {
+				continue
+			}
+			c.emitPos(imp.Pos(), RuleFaultContainment,
+				fmt.Sprintf("package %s imports fault-injection harness %s; only %s and _test.go files may (readers fault-containment in lint.policy)",
+					rel, impRel, strings.Join(sanctioned, " ")))
+		}
+	}
+}
+
+// matchAnyPkg reports whether any policy pattern matches relName.
+func matchAnyPkg(patterns []string, relName string) bool {
+	for _, pat := range patterns {
+		if matchPkg(pat, relName) {
+			return true
+		}
+	}
+	return false
 }
 
 // --- ctx-propagation -------------------------------------------------

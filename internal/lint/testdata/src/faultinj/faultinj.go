@@ -1,0 +1,7 @@
+// Package faultinj is the fixture's fault-injection harness: protected
+// by fault-containment, importable only from the sanctioned pool
+// package (and _test.go files, which lint never loads).
+package faultinj
+
+// Arm pretends to arm a fault and reports how many it armed.
+func Arm() int { return 1 }

@@ -1,0 +1,9 @@
+// Package faultuser imports the faultinj harness without being a
+// sanctioned reader: the layering entry permits the import, so the
+// finding below is fault-containment's alone.
+package faultuser
+
+import "example.com/fixture/faultinj"
+
+// Sneak reaches the harness from outside the pool.
+func Sneak() int { return faultinj.Arm() }

@@ -1,0 +1,9 @@
+// Package pool is the fixture's experiment pool: the one sanctioned
+// importer of the faultinj harness (readers fault-containment), so its
+// import below must stay clean.
+package pool
+
+import "example.com/fixture/faultinj"
+
+// Run arms the plan's faults before running.
+func Run() int { return faultinj.Arm() }

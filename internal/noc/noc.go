@@ -63,6 +63,16 @@ type Crossbar struct {
 	// Bytes and Messages count accepted traffic.
 	Bytes    int64
 	Messages int64
+
+	// flt is the nil-gated fault-injection hook (never set outside
+	// tests; see InjectStall).
+	flt *xbarFault
+}
+
+// xbarFault holds the test-only fault-injection state; nil in
+// production runs so Tick pays a single nil check.
+type xbarFault struct {
+	stallFrom sim.Cycle
 }
 
 // NewCrossbar returns a hierarchical crossbar. latency is the end-to-end
@@ -132,8 +142,18 @@ func (x *Crossbar) Inject(port int, now sim.Cycle, m Msg) bool {
 	return true
 }
 
+// InjectStall freezes the crossbar from cycle from onward: Tick becomes
+// a no-op while queued messages stay put, modeling a stuck switch
+// arbiter. Test-only.
+func (x *Crossbar) InjectStall(from sim.Cycle) {
+	x.flt = &xbarFault{stallFrom: from}
+}
+
 // Tick advances both stages by one cycle.
 func (x *Crossbar) Tick(now sim.Cycle) {
+	if x.flt != nil && now >= x.flt.stallFrom {
+		return
+	}
 	// Stage 1: move input heads into the middle links.
 	for i := range x.in {
 		p := &x.in[i]

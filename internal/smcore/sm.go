@@ -126,6 +126,10 @@ type SM struct {
 	NextReqID func() uint64
 
 	scratch kir.MemInfo
+
+	// flt is the nil-gated fault-injection hook (never set outside
+	// tests; see InjectWedge).
+	flt *smFault
 }
 
 // LSUOpsPerCycle is the number of line operations (TLB+L1 lookups) the
@@ -349,9 +353,26 @@ func (s *SM) StateSig() uint64 {
 	return h
 }
 
+// smFault holds the test-only fault-injection state; the pointer stays
+// nil in production runs so Tick pays a single nil check (same pattern
+// as the trace probes).
+type smFault struct {
+	wedgeAt sim.Cycle
+}
+
+// InjectWedge wedges the SM from cycle at onward: Tick becomes a no-op
+// while the wake hint and Idle keep claiming pending work, modeling a
+// core that stops retiring without ever quiescing. Test-only.
+func (s *SM) InjectWedge(at sim.Cycle) {
+	s.flt = &smFault{wedgeAt: at}
+}
+
 // Tick advances the SM by one cycle: drain the send queue, run the LSU,
 // then let each scheduler issue one instruction.
 func (s *SM) Tick(now sim.Cycle) {
+	if s.flt != nil && now >= s.flt.wedgeAt {
+		return
+	}
 	s.drainSendQueue(now)
 	s.tickLSU(now)
 	for sched := 0; sched < s.cfg.SchedulersPerSM; sched++ {

@@ -26,8 +26,10 @@ package nuba
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -76,6 +78,15 @@ type (
 	// LineChart is the ASCII time-series chart (for plotting epoch
 	// traces, e.g. NPB over time).
 	LineChart = metrics.LineChart
+	// HangError is the error a watchdog-armed run fails with when the
+	// machine stops making forward progress; its Report field carries
+	// the structured diagnosis (see docs/ROBUSTNESS.md).
+	HangError = core.HangError
+	// HangReport names the stuck components, their queue depths and
+	// their last wake hints at hang-detection time.
+	HangReport = core.HangReport
+	// ComponentState is one stuck component within a HangReport.
+	ComponentState = core.ComponentState
 )
 
 // Architectures.
@@ -208,6 +219,8 @@ type runConfig struct {
 	workers  int
 	progress func(RunEvent)
 	engine   Engine
+	watchdog WatchdogOptions
+	arm      func(sys *System) error
 }
 
 // WithTrace attaches observability sinks to a single run: the NDJSON
@@ -260,6 +273,41 @@ func WithEngine(e Engine) RunOption {
 	return func(rc *runConfig) { rc.engine = e }
 }
 
+// WatchdogOptions configures the forward-progress watchdog of a run.
+// The zero value disables both limits.
+type WatchdogOptions struct {
+	// NoProgressCycles fails the run with a *HangError once no
+	// component state signature changes for that many simulated cycles
+	// while work is outstanding. The watchdog reads only the pure
+	// per-component signatures the sanitizer engine reads, so arming it
+	// never perturbs the simulation: results stay byte-identical with
+	// the watchdog on or off. <= 0 disables.
+	NoProgressCycles int64
+	// WallClock bounds the run's host-side duration; on expiry the run
+	// fails with a *HangError whose report captures the pending
+	// components at abort time (reason "wall-clock-budget"). Unlike
+	// NoProgressCycles this also trips on genuinely slow runs — it is a
+	// budget, not a hang proof. <= 0 disables.
+	WallClock time.Duration
+}
+
+// WithWatchdog arms the forward-progress watchdog (see WatchdogOptions
+// and docs/ROBUSTNESS.md). Watchdog settings deliberately live outside
+// Config so guarded and unguarded runs share config fingerprints and
+// simulate identically.
+func WithWatchdog(w WatchdogOptions) RunOption {
+	return func(rc *runConfig) { rc.watchdog = w }
+}
+
+// WithArm installs a pre-run hook called after the system is assembled
+// and before any kernel launches, with the fully wired System. It is
+// the seam the fault-injection harness (internal/fault) arms faults
+// through; tests can use it for any pre-run system surgery. An error
+// aborts the run.
+func WithArm(arm func(sys *System) error) RunOption {
+	return func(rc *runConfig) { rc.arm = arm }
+}
+
 // apply folds opts into a runConfig.
 func apply(opts []RunOption) runConfig {
 	var rc runConfig
@@ -301,8 +349,30 @@ func runOne(ctx context.Context, cfg Config, b Benchmark, rc *runConfig) (*Resul
 	if topts == nil && rc.traceFor != nil {
 		topts = rc.traceFor(b)
 	}
-	return execute(ctx, cfg, build, topts, label, rc.engine)
+	return execute(ctx, cfg, build, topts, label, rc)
 }
+
+// PanicError is the error a run fails with when the simulator panics (a
+// model invariant blown mid-run). Run recovers the panic so one bad job
+// cannot take down a whole sweep process; the original panic value and
+// goroutine stack ride along for diagnosis.
+type PanicError struct {
+	// Label identifies the run ("MVT", "custom", ...).
+	Label string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack (runtime/debug.Stack).
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("nuba: panic in run %s: %v", e.Label, e.Value)
+}
+
+// errWallClockBudget is the cancel cause installed by
+// WatchdogOptions.WallClock, distinguishing budget expiry from caller
+// cancellation.
+var errWallClockBudget = errors.New("nuba: watchdog wall-clock budget exceeded")
 
 // RunContext runs b on cfg under a context.
 //
@@ -336,16 +406,37 @@ func RunLaunchesContext(ctx context.Context, cfg Config, build func(sys *System)
 // execute is the single execution path behind every Run* entry point:
 // assemble a system, attach tracing when requested, build the launches
 // into the address space, run them under the context and bundle the
-// measurements. Trace sinks and the engine choice deliberately live
-// outside Config so traced/untraced and hybrid/naive runs share config
-// fingerprints (the experiment engine's memo key) and simulate
-// identically.
-func execute(ctx context.Context, cfg Config, build func(sys *System) ([]*Launch, error), topts *TraceOptions, label string, engine Engine) (*Result, error) {
+// measurements. Trace sinks, the engine choice and the watchdog
+// deliberately live outside Config so traced/untraced, hybrid/naive and
+// guarded/unguarded runs share config fingerprints (the experiment
+// engine's memo key) and simulate identically. A simulator panic is
+// recovered into a *PanicError so one bad run cannot take down a whole
+// sweep process.
+func execute(ctx context.Context, cfg Config, build func(sys *System) ([]*Launch, error), topts *TraceOptions, label string, rc *runConfig) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &PanicError{Label: label, Value: r, Stack: debug.Stack()}
+		}
+	}()
 	g, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	g.SetEngine(engine)
+	g.SetEngine(rc.engine)
+	if rc.watchdog.NoProgressCycles > 0 {
+		g.SetWatchdog(rc.watchdog.NoProgressCycles)
+	}
+	if rc.watchdog.WallClock > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, rc.watchdog.WallClock, errWallClockBudget)
+		defer cancel()
+	}
+	if rc.arm != nil {
+		if err := rc.arm(g); err != nil {
+			return nil, fmt.Errorf("nuba: arm hook: %w", err)
+		}
+	}
 	var tr *trace.Tracer
 	if topts != nil && topts.Enabled() {
 		o := *topts
@@ -367,6 +458,10 @@ func execute(ctx context.Context, cfg Config, build func(sys *System) ([]*Launch
 		}
 	}
 	if runErr != nil {
+		if errors.Is(runErr, context.DeadlineExceeded) && context.Cause(ctx) == errWallClockBudget {
+			rep := g.CaptureHang("wall-clock-budget", 0, 0)
+			return nil, &HangError{Report: rep}
+		}
 		return nil, runErr
 	}
 	bd := g.EnergyBreakdown(energy.DefaultParams())

@@ -1,0 +1,157 @@
+package nuba
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/nuba-gpu/nuba/internal/core"
+	"github.com/nuba-gpu/nuba/internal/fault"
+	"github.com/nuba-gpu/nuba/internal/trace"
+)
+
+// runCappedWatchdog mirrors runCapped (engines_test.go) with the
+// forward-progress watchdog armed at the given window (0 = off).
+func runCappedWatchdog(t *testing.T, cfg Config, b Benchmark, window int64) cappedCapture {
+	t.Helper()
+	g, err := core.New(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", b.Abbr, err)
+	}
+	g.SetWatchdog(window)
+	var series bytes.Buffer
+	tr := trace.New(trace.Options{Series: &series, EpochCycles: 10_000}, cfg.CoreClockGHz)
+	tr.Begin(trace.Meta{Bench: b.Abbr, Config: cfg.Name(), Partitions: cfg.NumPartitions()})
+	g.AttachTracer(tr)
+	launches, err := b.Build(g.NewBuffer)
+	if err != nil {
+		t.Fatalf("%s: build: %v", b.Abbr, err)
+	}
+	outcome := "drained"
+	if err := g.RunProgramContext(context.Background(), launches); err != nil {
+		if !strings.Contains(err.Error(), "exceeded MaxCycles") {
+			t.Fatalf("%s: window=%d: unexpected error: %v", b.Abbr, window, err)
+		}
+		outcome = err.Error()
+	}
+	st := g.Stats()
+	return cappedCapture{
+		report:  fmt.Sprintf("%+v\n%s", *st, DetailTable(st)),
+		series:  series.Bytes(),
+		outcome: outcome,
+	}
+}
+
+// TestWatchdogSuiteNoFalsePositives is the watchdog's false-positive
+// proof over the whole Table 2 suite: with the watchdog armed, every
+// capped benchmark run must end exactly as the unwatched run does —
+// same drained/capped outcome (any *HangError fails the helper
+// immediately), same counters, same trace bytes. The watchdog reads
+// only pure state signatures, so byte-identity is the contract, not
+// just a nice-to-have.
+func TestWatchdogSuiteNoFalsePositives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed; runs every benchmark twice")
+	}
+	cfg := NUBAConfig().Scale(0.125)
+	cfg.MaxCycles = 256 * 1024
+	for _, b := range Suite() {
+		off := runCappedWatchdog(t, cfg, b, 0)
+		on := runCappedWatchdog(t, cfg, b, 32*1024)
+		if off.outcome != on.outcome {
+			t.Errorf("%s: outcomes diverge\nwatchdog off: %s\nwatchdog on:  %s", b.Abbr, off.outcome, on.outcome)
+		}
+		if off.report != on.report {
+			t.Errorf("%s: reports diverge with the watchdog armed\noff: %s\non:  %s",
+				b.Abbr, off.report, on.report)
+		}
+		if !bytes.Equal(off.series, on.series) {
+			t.Errorf("%s: NDJSON epoch traces diverge with the watchdog armed", b.Abbr)
+		}
+		if len(off.series) == 0 {
+			t.Errorf("%s: empty trace — comparison is vacuous", b.Abbr)
+		}
+	}
+}
+
+// TestRunRecoversInjectedPanic: a panic inside the simulator surfaces
+// from Run as a one-line *PanicError carrying the stack, instead of
+// killing the process.
+func TestRunRecoversInjectedPanic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	b, err := BenchmarkByAbbr("MVT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &fault.Spec{Faults: []fault.Fault{{Kind: fault.PanicAt, At: 2000}}}
+	_, err = Run(context.Background(), NUBAConfig().Scale(0.125), b, WithArm(spec.Arm))
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Fatal("recovered panic carries no usable stack")
+	}
+	if msg := err.Error(); strings.Contains(msg, "\n") || !strings.Contains(msg, "panic") {
+		t.Fatalf("Error() must be a single line naming the panic: %q", msg)
+	}
+}
+
+// TestWatchdogCyclesOption: the public WithWatchdog option catches an
+// injected stall as a *HangError with a populated report.
+func TestWatchdogCyclesOption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	b, err := BenchmarkByAbbr("MVT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &fault.Spec{Faults: []fault.Fault{{Kind: fault.StallNoC, Target: 0, At: 1000}}}
+	cfg := NUBAConfig().Scale(0.125)
+	cfg.MaxCycles = 4 << 20
+	_, err = Run(context.Background(), cfg, b,
+		WithWatchdog(WatchdogOptions{NoProgressCycles: 16384}), WithArm(spec.Arm))
+	var he *HangError
+	if !errors.As(err, &he) {
+		t.Fatalf("want *HangError, got %v", err)
+	}
+	if len(he.Report.Stuck) == 0 || he.Report.Reason == "" {
+		t.Fatalf("hang report incomplete: %+v", he.Report)
+	}
+}
+
+// TestWatchdogWallClockBudget: the wall-clock half of WatchdogOptions
+// converts a runaway run into a *HangError with a component snapshot,
+// even with the cycle-based watchdog off.
+func TestWatchdogWallClockBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	b, err := BenchmarkByAbbr("MVT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &fault.Spec{Faults: []fault.Fault{{Kind: fault.StallNoC, Target: 0, At: 1000}}}
+	cfg := NUBAConfig().Scale(0.125)
+	cfg.MaxCycles = 1 << 40 // effectively uncapped: only the budget can stop it
+	start := time.Now()
+	_, err = Run(context.Background(), cfg, b,
+		WithWatchdog(WatchdogOptions{WallClock: 300 * time.Millisecond}), WithArm(spec.Arm))
+	var he *HangError
+	if !errors.As(err, &he) {
+		t.Fatalf("want *HangError, got %v", err)
+	}
+	if he.Report.Reason != "wall-clock-budget" {
+		t.Fatalf("want wall-clock-budget report, got %q", he.Report.Reason)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("budget enforcement took %s", elapsed)
+	}
+}
