@@ -1,9 +1,9 @@
 # Convenience targets; `make check` mirrors CI.
 
 GO ?= go
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_9.json
 
-.PHONY: build vet lint fmt-check docs-check test test-short race sanitize stress bench check clean
+.PHONY: build vet lint fmt-check docs-check test test-short race sanitize stress bench shardmap check clean
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,12 @@ stress:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineThroughput' -benchmem -count 1 . \
 		| $(GO) run ./cmd/nubabench -o $(BENCH_OUT)
+
+# Regenerate the committed partition plan (docs/SHARDING.md). CI and
+# TestShardMapMatchesCommitted fail when docs/shardmap.json drifts from
+# `nubalint -shardmap` output; rerun this and review the diff.
+shardmap:
+	$(GO) run ./cmd/nubalint -shardmap ./... > docs/shardmap.json
 
 check: vet build lint fmt-check docs-check test race sanitize stress
 

@@ -59,7 +59,6 @@ type GPU struct {
 	mdrCtl  *mdr.Controller
 
 	cycle        sim.Cycle
-	reqID        uint64
 	launchSeq    int
 	vaCursor     uint64
 	hitMaxCycles bool
@@ -118,8 +117,7 @@ func New(cfg config.Config) (*GPU, error) {
 
 	for i := 0; i < cfg.NumSMs; i++ {
 		part := g.cfg.PartitionOfSM(i)
-		s := smcore.New(i, part, &g.cfg, g.stats, g.drv, g.vmsys, g.hist)
-		s.NextReqID = g.nextReqID
+		s := smcore.New(i, part, &g.cfg, g.stats, g.hist)
 		g.sms = append(g.sms, s)
 	}
 	for j := 0; j < cfg.NumLLCSlices; j++ {
@@ -148,11 +146,6 @@ func MustNew(cfg config.Config) *GPU {
 		panic(err)
 	}
 	return g
-}
-
-func (g *GPU) nextReqID() uint64 {
-	g.reqID++
-	return g.reqID
 }
 
 // Stats returns the run statistics.

@@ -109,6 +109,19 @@ func (g *GPU) recordPlacementAccess(req *sim.MemReq, part int) {
 	}
 }
 
+// pageLookup returns the SM's page-table consultation seam: the driver
+// lookup that finishes a translation after an L1 TLB hit. busy reports
+// a frame mid-migration; ok whether a mapping exists yet.
+func (g *GPU) pageLookup(part int) func(uint64, sim.Cycle) (uint64, bool, bool) {
+	return func(vpn uint64, now sim.Cycle) (ppn uint64, busy, ok bool) {
+		if p, ok := g.drv.Lookup(vpn); ok && p.BusyUntil > now {
+			return 0, true, false
+		}
+		ppn, ok = g.drv.Translate(vpn, part)
+		return ppn, false, ok
+	}
+}
+
 // shootdown flushes a VPN from the shared L2 TLB and every L1 TLB.
 func (g *GPU) shootdown(vpn uint64) {
 	g.vmsys.Shootdown(vpn)
@@ -148,6 +161,10 @@ func (g *GPU) drainMigQueue() {
 // wire installs the architecture-specific callbacks on SMs, slices and
 // channels.
 func (g *GPU) wire() {
+	for _, s := range g.sms {
+		s.VMRequest = g.vmsys.Request
+		s.PageLookup = g.pageLookup(s.Part)
+	}
 	for _, ch := range g.chans {
 		ch.Respond = g.memRespond
 	}

@@ -76,15 +76,15 @@ func (g *GPU) sanProbes() []sanProbe {
 }
 
 // coreStateSig covers the state the GPU itself owns between components:
-// the migration and invalidation queues, the retry list, the timer
-// deadlines and the request-id counter.
+// the migration and invalidation queues, the retry list and the timer
+// deadlines. (Request ids are SM-local sequences, covered by
+// SM.StateSig.)
 func (g *GPU) coreStateSig() uint64 {
 	h := sim.MixSig(sim.SigSeed, uint64(g.migQueue.Len()))
 	h = sim.MixSig(h, uint64(g.invalQueue.Len()))
 	h = sim.MixSig(h, uint64(len(g.migFillRetry)))
 	h = sim.MixSig(h, uint64(g.nextMigScan))
 	h = sim.MixSig(h, uint64(g.tr.next))
-	h = sim.MixSig(h, g.reqID)
 	return h
 }
 

@@ -85,7 +85,6 @@ func (g *GPU) progressSig() uint64 {
 	h := sim.MixSig(sim.SigSeed, uint64(g.migQueue.Len()))
 	h = sim.MixSig(h, uint64(g.invalQueue.Len()))
 	h = sim.MixSig(h, uint64(len(g.migFillRetry)))
-	h = sim.MixSig(h, g.reqID)
 	for _, s := range g.sms {
 		h = sim.MixSig(h, s.StateSig())
 	}

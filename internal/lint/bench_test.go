@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkNubalint measures a full analyzer pass — all sixteen rules
+// over the real module with the real policy — excluding the one-time
+// parse/type-check (Load), which is amortized across rules in the CLI
+// too. This is the `make lint` inner loop; the module-wide use graph
+// and shard analysis are built once per Run and shared by every rule
+// that needs them, so the benchmark catches a rule accidentally
+// rebuilding either.
+func BenchmarkNubalint(b *testing.B) {
+	mod, err := FindModule("../..")
+	if err != nil {
+		b.Fatalf("FindModule: %v", err)
+	}
+	pol, err := ParsePolicy(filepath.Join(mod.Dir, "lint.policy"))
+	if err != nil {
+		b.Fatalf("ParsePolicy: %v", err)
+	}
+	prog, err := Load(mod, []string{"./..."})
+	if err != nil {
+		b.Fatalf("Load: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diags, err := Run(prog, pol, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("repo not lint-clean: %d findings", len(diags))
+		}
+	}
+}
+
+// BenchmarkShardMap measures partition-plan emission alone: the shard
+// analysis (component closures, classification, phase walk) plus JSON
+// encoding, on a pre-loaded module.
+func BenchmarkShardMap(b *testing.B) {
+	mod, err := FindModule("../..")
+	if err != nil {
+		b.Fatalf("FindModule: %v", err)
+	}
+	pol, err := ParsePolicy(filepath.Join(mod.Dir, "lint.policy"))
+	if err != nil {
+		b.Fatalf("ParsePolicy: %v", err)
+	}
+	prog, err := Load(mod, []string{"./..."})
+	if err != nil {
+		b.Fatalf("Load: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ShardMapJSON(prog, pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,15 +3,22 @@
 // go/parser + go/types (no x/tools dependency) and enforces the
 // simulator's determinism and layering invariants:
 //
-//	nondet-map-range   no unordered map iteration in simulation-core code
-//	no-wallclock       no time.Now/time.Since/math/rand in simulation-core code
-//	import-layering    the package DAG declared in lint.policy holds
-//	ctx-propagation    ctx-receiving functions never reset the context chain
-//	goroutine-in-core  no go statements inside cycle-level model packages
-//	config-liveness    every audited config knob is read by the simulator
-//	metrics-liveness   every counter is written by the model and reported
-//	unit-consistency   nubaunit dimensional analysis over annotated values
-//	deprecated-api     scoped packages never call deprecated root functions
+//	nondet-map-range    no unordered map iteration in simulation-core code
+//	no-wallclock        no time.Now/time.Since/math/rand in simulation-core code
+//	import-layering     the package DAG declared in lint.policy holds
+//	ctx-propagation     ctx-receiving functions never reset the context chain
+//	goroutine-in-core   no go statements inside cycle-level model packages
+//	config-liveness     every audited config knob is read by the simulator
+//	metrics-liveness    every counter is written by the model and reported
+//	unit-consistency    nubaunit dimensional analysis over annotated values
+//	deprecated-api      scoped packages never call deprecated root functions
+//	hint-purity         declared wake hints are transitively side-effect-free
+//	engine-contract     every ticked component is declared and exposes a hint
+//	partition-isolation partition-owned fields accept only sanctioned writers
+//	fault-containment   the fault harness is importable only from the pool
+//	shard-footprint     component ticks stay inside their declared seams
+//	shard-shared        reachable shared mutables carry a classification
+//	tick-phase-order    the engine phase sequence matches the declaration
 //
 // Which packages each rule covers, which files are allowlisted, and the
 // allowed import edges all come from a committed policy file (see
@@ -106,6 +113,17 @@ type Program struct {
 	Mod  Module
 	// Pkgs are the target packages, sorted by Rel.
 	Pkgs []*Package
+}
+
+// pkgByRel returns the loaded package with the given policy-style
+// rel-name ("." for the root), or nil.
+func (p *Program) pkgByRel(rel string) *Package {
+	for _, pkg := range p.Pkgs {
+		if pkg.RelName() == rel {
+			return pkg
+		}
+	}
+	return nil
 }
 
 // RelFile returns pos's file path relative to the module root.

@@ -75,6 +75,32 @@ const (
 	// _test.go files, which the linter never loads — may reach it, so
 	// injection hooks cannot leak into production simulation paths.
 	RuleFaultContainment = "fault-containment"
+	// RuleShardFootprint flags a partition component tick (the Tick and
+	// wake-hint methods of `structs shard-footprint` types, plus
+	// everything they transitively call) that reaches another partition
+	// component's state, or dispatches through a func-typed port of its
+	// own component that is not declared in `seams shard-footprint`.
+	// Declared seams stop the traversal: they are where the future
+	// partition-parallel engine will exchange work at barriers. See
+	// shardsafety.go.
+	RuleShardFootprint = "shard-footprint"
+	// RuleShardShared flags shared mutable state reachable from a
+	// partition tick that carries no classification in
+	// `shared shard-shared`, classified state touched in ways its class
+	// forbids (a barrier-exchange or unsafe object read or written
+	// mid-tick, a commutative counter written non-accumulatively), and
+	// stale classifications matching nothing the analysis can see. See
+	// shardsafety.go.
+	RuleShardShared = "shard-shared"
+	// RuleTickPhaseOrder audits the engine's per-cycle phase sequence
+	// (`funcs tick-phase-order`: the driver followed by its phase
+	// methods in declared order): the driver must call the phases in
+	// that order, every Tick the driver calls must be declared, stale
+	// declared phases are findings, and unclassified shared state
+	// written by a later phase and read by an earlier one — a backward
+	// cross-phase dataflow that a partition barrier would reorder — is
+	// flagged. See shardsafety.go.
+	RuleTickPhaseOrder = "tick-phase-order"
 	// RuleDirective reports malformed //nubalint:ignore comments and
 	// nubaunit annotations. It is always on: a directive that silently
 	// fails to parse would hide real findings.
@@ -87,7 +113,8 @@ func AllRules() []string {
 		RuleMapRange, RuleWallclock, RuleLayering, RuleCtx, RuleGoroutine,
 		RuleConfigLive, RuleMetricsLive, RuleUnits, RuleDeprecatedAPI,
 		RuleHintPurity, RuleEngineContract, RulePartitionIsolation,
-		RuleFaultContainment,
+		RuleFaultContainment, RuleShardFootprint, RuleShardShared,
+		RuleTickPhaseOrder,
 	}
 }
 
@@ -133,6 +160,9 @@ var progRuleFuncs = map[string]func(*progCtx) error{
 	RuleHintPurity:         checkHintPurity,
 	RuleEngineContract:     checkEngineContract,
 	RulePartitionIsolation: checkPartitionIsolation,
+	RuleShardFootprint:     checkShardFootprint,
+	RuleShardShared:        checkShardShared,
+	RuleTickPhaseOrder:     checkTickPhaseOrder,
 }
 
 // emitFunc reports a diagnostic at a token position, applying
@@ -145,6 +175,9 @@ type pkgCtx struct {
 	pol     *Policy
 	pkg     *Package
 	emitPos emitFunc
+	// deprecated is the module-wide deprecated root-API set, computed
+	// once in Run and shared by every package's deprecated-api check.
+	deprecated map[string]bool
 }
 
 // --- nondet-map-range ------------------------------------------------
@@ -562,7 +595,7 @@ func checkDeprecatedAPI(c *pkgCtx) {
 	if !c.pol.InScope(RuleDeprecatedAPI, c.pkg.RelName()) {
 		return
 	}
-	deprecated := deprecatedRootFuncs(c.prog)
+	deprecated := c.deprecated
 	if len(deprecated) == 0 {
 		return
 	}

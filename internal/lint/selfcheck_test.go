@@ -7,18 +7,19 @@ import (
 
 // TestRepoLintsClean runs the real analyzer, with the real committed
 // lint.policy, over the real module — the same invocation as
-// `go run ./cmd/nubalint ./...` — under all thirteen rules. The repo
+// `go run ./cmd/nubalint ./...` — under all sixteen rules. The repo
 // must stay finding-free: a new unsorted map range on the report path,
 // a stray time.Now in a model package, an import edge outside the DAG,
 // a config knob no simulator package reads, a Stats counter nothing
 // writes or reports, an expression mixing //nubaunit: dimensions, an
 // impure wake hint, a ticked component outside the engine contract, a
-// foreign write to partition-owned state or a non-pool import of the
-// fault-injection harness fails this test (and with it `make check`
-// and CI).
+// foreign write to partition-owned state, a non-pool import of the
+// fault-injection harness, a partition tick escaping its shard
+// footprint, unclassified shared state on a tick path or a phase-order
+// drift fails this test (and with it `make check` and CI).
 func TestRepoLintsClean(t *testing.T) {
-	if n := len(AllRules()); n != 13 {
-		t.Fatalf("AllRules() has %d rules, want 13; update this test and the docs", n)
+	if n := len(AllRules()); n != 16 {
+		t.Fatalf("AllRules() has %d rules, want 16; update this test and the docs", n)
 	}
 	mod, err := FindModule("../..")
 	if err != nil {

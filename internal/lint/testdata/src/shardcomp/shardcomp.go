@@ -1,0 +1,67 @@
+// Package shardcomp holds the partition components for the
+// shard-safety fixtures: Core and Bank are listed in
+// `structs shard-footprint`, Core.Send and flush are the declared
+// seams, and the Tick bodies seed one finding per shard-rule clause.
+package shardcomp
+
+import "example.com/fixture/shardstate"
+
+// Core is one partition component. Send is its declared seam port,
+// Eject an undeclared one (finding).
+type Core struct {
+	depth int
+	peer  *Bank
+	tally *shardstate.Tally
+	lcl   shardstate.Local
+	box   *shardstate.Mailbox
+	q     *shardstate.Queue
+
+	Send  func(v int)
+	Eject func(v int)
+}
+
+// NewCore wires a Core with its shared-state handles.
+func NewCore() *Core {
+	return &Core{peer: NewBank(), tally: &shardstate.Tally{},
+		box: &shardstate.Mailbox{}, q: &shardstate.Queue{}}
+}
+
+// Tick seeds, line by line, every component-closure finding the golden
+// file locks.
+func (c *Core) Tick() {
+	c.depth++
+	c.lcl.Depth = c.depth                // partition class: fine
+	c.tally.Total++                      // commutative accumulation: fine
+	c.tally.Total = 0                    // finding: non-accumulative write
+	c.tally.Note = "reset"               // field-level partition class: fine
+	c.peer.Level++                       // finding: other partition's state
+	c.box.Slots++                        // finding: barrier-exchange mid-tick
+	shardstate.Registry.Pending++        // finding: unclassified shared state
+	_ = shardstate.Packet{Data: c.depth} // message class: fine
+	c.Send(c.depth)                      // declared seam port: fine
+	c.Eject(c.depth)                     // finding: undeclared port
+	flush(c.q)                           // declared seam function: not traversed
+}
+
+// NextWake is the component's wake hint; it joins Tick as a closure
+// root.
+func (c *Core) NextWake() int { return c.depth }
+
+// flush is the declared seam function: its body runs at the partition
+// barrier, but the queue it drains is unclassified, so the seam
+// closure seeds its own shard-shared finding.
+func flush(q *shardstate.Queue) { q.Items = q.Items[:0] }
+
+// Bank is the second partition component.
+type Bank struct{ Level int }
+
+// NewBank returns an empty Bank.
+func NewBank() *Bank { return &Bank{} }
+
+// Tick reads the unclassified registry (a second unclassified finding,
+// and the read side of the phase-order backward dataflow) and the
+// unsafe global (finding).
+func (b *Bank) Tick() {
+	_ = shardstate.Registry.Pending
+	_ = shardstate.Global.Mode
+}

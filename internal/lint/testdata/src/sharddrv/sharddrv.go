@@ -1,0 +1,46 @@
+// Package sharddrv holds the tick-phase-order fixture: Engine.step is
+// the declared driver, and its body contradicts the declared phase
+// order in every way the rule checks — an out-of-order phase, an
+// undeclared Tick, a stale declared phase and a backward cross-phase
+// dataflow.
+package sharddrv
+
+import "example.com/fixture/shardcomp"
+
+// Pump is ticked by the driver but not declared as a phase (finding).
+type Pump struct{ n int }
+
+// Tick advances the pump.
+func (p *Pump) Tick() { p.n++ }
+
+// Idle is declared as a phase but never ticked (stale finding).
+type Idle struct{}
+
+// Tick does nothing.
+func (i *Idle) Tick() {}
+
+// Engine drives the fixture components once per cycle.
+type Engine struct {
+	c    *shardcomp.Core
+	b    *shardcomp.Bank
+	p    *Pump
+	sent int
+}
+
+// New wires the engine, installing the Core's seam port.
+func New() *Engine {
+	e := &Engine{c: shardcomp.NewCore(), b: shardcomp.NewBank(), p: &Pump{}}
+	e.c.Send = e.push
+	return e
+}
+
+// push receives the Core's seam traffic.
+func (e *Engine) push(v int) { e.sent += v }
+
+// step calls Core before Bank, contradicting the declared order
+// (Bank first), and ticks the undeclared Pump.
+func (e *Engine) step() {
+	e.c.Tick()
+	e.b.Tick()
+	e.p.Tick()
+}

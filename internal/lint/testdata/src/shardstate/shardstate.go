@@ -1,0 +1,46 @@
+// Package shardstate holds the shared-state fixtures for the
+// shard-safety rules: one representative of every classification in
+// `shared shard-shared`, plus the deliberately unclassified objects
+// the golden findings point at.
+package shardstate
+
+// Reg tracks in-flight work; deliberately unclassified, so ticks that
+// touch Registry.Pending seed shard-shared's unclassified finding.
+type Reg struct{ Pending int }
+
+// Registry is the unclassified shared mutable the components fight
+// over.
+var Registry Reg
+
+// Tally is a commutative accumulator (classified commutative in
+// lint.policy); Note is classified partition at field level, proving
+// field precedence over the type entry.
+type Tally struct {
+	Total int
+	Note  string
+}
+
+// Local is per-partition scratch (classified partition).
+type Local struct{ Depth int }
+
+// Mailbox is exchanged only at barriers (classified
+// barrier-exchange): a tick touching it is a finding.
+type Mailbox struct{ Slots int }
+
+// Cfg is the type behind Global.
+type Cfg struct{ Mode int }
+
+// Global is a known-unsafe global knob (classified unsafe).
+var Global Cfg
+
+// Packet is a message payload (classified message): ownership moves
+// with the message, so writes from a tick are fine.
+type Packet struct{ Data int }
+
+// Queue backs the flush seam; deliberately unclassified so the seam
+// closure seeds its own shard-shared finding.
+type Queue struct{ Items []int }
+
+// Unused exists only to exercise the stale-classification finding:
+// lint.policy classifies it but no audited closure touches it.
+type Unused struct{ N int }

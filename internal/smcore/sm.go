@@ -15,7 +15,6 @@ import (
 
 	"github.com/nuba-gpu/nuba/internal/cache"
 	"github.com/nuba-gpu/nuba/internal/config"
-	"github.com/nuba-gpu/nuba/internal/driver"
 	"github.com/nuba-gpu/nuba/internal/kir"
 	"github.com/nuba-gpu/nuba/internal/metrics"
 	"github.com/nuba-gpu/nuba/internal/sim"
@@ -89,8 +88,6 @@ type SM struct {
 
 	cfg   *config.Config
 	stats *metrics.Stats
-	drv   *driver.Driver
-	vmsys *vm.System
 	hist  *metrics.SharingHistogram
 
 	l1     *cache.Cache
@@ -122,8 +119,21 @@ type SM struct {
 	// Send injects a request into the interconnect; installed by the
 	// core. It returns false on back-pressure and the SM retries.
 	Send func(req *sim.MemReq, now sim.Cycle) bool
-	// NextReqID allocates globally unique request ids.
-	NextReqID func() uint64
+	// VMRequest asks the shared VM system (L2 TLB + page walkers) to
+	// resolve vpn, invoking done when the walk completes; installed by
+	// the core. It returns false on L2 TLB port or walker back-pressure.
+	VMRequest func(part int, vpn uint64, writable bool, now sim.Cycle, done func()) bool
+	// PageLookup consults the driver's page table for a line's physical
+	// frame; installed by the core. busy reports a frame mid-migration
+	// (the SM stalls until the copy window passes); ok reports whether a
+	// mapping exists yet.
+	PageLookup func(vpn uint64, now sim.Cycle) (ppn uint64, busy, ok bool)
+
+	// reqSeq is the SM-local request-id sequence; ids are striped by SM
+	// so they stay unique across the whole GPU without a shared
+	// allocator (ROADMAP item 2: no cross-partition state on the tick
+	// path).
+	reqSeq uint64
 
 	scratch kir.MemInfo
 
@@ -138,15 +148,13 @@ type SM struct {
 const LSUOpsPerCycle = 1
 
 // New returns SM id in partition part.
-func New(id, part int, cfg *config.Config, stats *metrics.Stats, drv *driver.Driver,
-	vmsys *vm.System, hist *metrics.SharingHistogram) *SM {
+func New(id, part int, cfg *config.Config, stats *metrics.Stats,
+	hist *metrics.SharingHistogram) *SM {
 	s := &SM{
 		ID:         id,
 		Part:       part,
 		cfg:        cfg,
 		stats:      stats,
-		drv:        drv,
-		vmsys:      vmsys,
 		hist:       hist,
 		l1:         cache.New(cfg.L1Sets(), cfg.L1Ways, cache.WriteThrough),
 		l1MSHR:     cache.NewMSHRFile(cfg.L1MSHRs),
@@ -326,6 +334,7 @@ func (s *SM) StateSig() uint64 {
 	h = sim.MixSig(h, uint64(s.ctaQueue.Len()))
 	h = sim.MixSig(h, uint64(s.sendQueue.Len()))
 	h = sim.MixSig(h, uint64(s.nextAge))
+	h = sim.MixSig(h, s.reqSeq)
 	if s.liveWarps > 0 || !s.ctaQueue.Empty() {
 		for _, su := range s.sleepUntil {
 			h = sim.MixSig(h, uint64(su))
@@ -622,7 +631,7 @@ func (s *SM) translate(acc *memAccess, line *lineReq, now sim.Cycle) bool {
 		s.hist.Touch(vpn, s.ID)
 	}
 	lineRef := line
-	accepted := s.vmsys.Request(s.Part, vpn, acc.writable, now, func() {
+	accepted := s.VMRequest(s.Part, vpn, acc.writable, now, func() {
 		s.l1TLB.Insert(vpn, now)
 		lineRef.state = lineTranslated
 		// The physical frame is resolved when the LSU next processes the
@@ -637,10 +646,10 @@ func (s *SM) translate(acc *memAccess, line *lineReq, now sim.Cycle) bool {
 
 // finishTranslate fills line.paddr from the driver's current mapping.
 func (s *SM) finishTranslate(line *lineReq, vpn uint64, now sim.Cycle) bool {
-	if p, ok := s.drv.Lookup(vpn); ok && p.BusyUntil > now {
+	ppn, busy, ok := s.PageLookup(vpn, now)
+	if busy {
 		return false // page mid-migration: stall
 	}
-	ppn, ok := s.drv.Translate(vpn, s.Part)
 	if !ok {
 		// Mapped concurrently via fault path; the walk callback will
 		// re-mark the line. Treat as no progress.
@@ -732,8 +741,9 @@ func (s *SM) newReq(acc *memAccess, line *lineReq, now sim.Cycle) *sim.MemReq {
 	if !acc.store {
 		dst = acc.dstReg
 	}
+	s.reqSeq++
 	return &sim.MemReq{
-		ID:           s.NextReqID(),
+		ID:           uint64(s.ID+1)<<40 | s.reqSeq,
 		Kind:         kind,
 		Addr:         s.l1.LineAddr(line.paddr),
 		VAddr:        line.vaddr,

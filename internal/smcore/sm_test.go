@@ -34,9 +34,15 @@ func newRig(t *testing.T, delay sim.Cycle) *testRig {
 	st := &metrics.Stats{}
 	vmsys := vm.NewSystem(&cfg, drv, st)
 	r := &testRig{stats: st, vmsys: vmsys, delay: delay}
-	r.sm = New(0, 0, &cfg, st, drv, vmsys, metrics.NewSharingHistogram())
-	id := uint64(0)
-	r.sm.NextReqID = func() uint64 { id++; return id }
+	r.sm = New(0, 0, &cfg, st, metrics.NewSharingHistogram())
+	r.sm.VMRequest = vmsys.Request
+	r.sm.PageLookup = func(vpn uint64, now sim.Cycle) (uint64, bool, bool) {
+		if p, ok := drv.Lookup(vpn); ok && p.BusyUntil > now {
+			return 0, true, false
+		}
+		ppn, ok := drv.Translate(vpn, 0)
+		return ppn, false, ok
+	}
 	r.sm.Send = func(req *sim.MemReq, now sim.Cycle) bool {
 		r.sent++
 		r.pending = append(r.pending, req)
