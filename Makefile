@@ -1,7 +1,7 @@
 # Convenience targets; `make check` mirrors CI.
 
 GO ?= go
-BENCH_OUT ?= BENCH_9.json
+BENCH_OUT ?= BENCH_10.json
 
 .PHONY: build vet lint fmt-check docs-check test test-short race sanitize stress bench shardmap check clean
 
@@ -29,17 +29,24 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# The full-run byte-identity test covers the parallel engine at full
+# fan-out, and the wedge regression drives it through the watchdog — so
+# this step is also the race-detector pass over the parallel engine's
+# barrier and exchange paths (docs/PARALLEL.md).
 race:
 	$(GO) test -race -timeout 30m ./internal/experiments/... ./internal/lint/...
-	$(GO) test -race -timeout 30m -run 'TestEnginesByteIdenticalFullRuns' .
+	$(GO) test -race -timeout 30m -run 'TestEnginesByteIdenticalFullRuns|TestWatchdogCatchesWedgeOnNonZeroPartitionParallel' .
 	$(GO) test -race -timeout 30m -run 'TestEngines|TestSanitize|TestParseEngine|TestQuietVsWake|TestMaxCycles' ./internal/core/
 
 # Hint-soundness smoke: a cheap three-benchmark subset to natural
 # completion under the sanitizer engine (every claimed-idle window
-# stepped and verified; see DESIGN.md §9). The full capped suite runs
-# under `go test .` (TestSanitizeSuite).
+# stepped and verified; see DESIGN.md §9), then the same subset under
+# the partition-parallel engine — whose outputs the byte-identity tests
+# pin to the serial engines'. The full capped suites run under
+# `go test .` (TestSanitizeSuite, TestParallelEngineByteIdenticalAcrossSuite).
 sanitize:
 	$(GO) run ./cmd/nubasim -bench DWT2D,BH,MVT -scale 0.125 -engine sanitize
+	$(GO) run ./cmd/nubasim -bench DWT2D,BH,MVT -scale 0.125 -engine parallel
 
 # The seeded fault-injection stress matrix (docs/ROBUSTNESS.md): every
 # fault class injected into a short run and caught by the layer that

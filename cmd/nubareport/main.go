@@ -32,6 +32,7 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "simulations to run in parallel (1 = serial)")
 	verbose := flag.Bool("v", false, "per-run progress on stderr")
 	engineFlag := flag.String("engine", "hybrid", nuba.EngineUsage())
+	partWorkers := flag.Int("partition-workers", 0, "goroutines per simulation for -engine=parallel, 0 = one per partition (multiplies with -jobs; see docs/PARALLEL.md)")
 	watchdog := flag.Int64("watchdog", 0, "fail a run once no component state changes for this many cycles while work is pending (0 = off)")
 	retries := flag.Int("retries", 0, "retries per job for transient failures")
 	flag.Parse()
@@ -42,7 +43,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts := experiments.Options{Scale: *scale, Jobs: *jobs, Engine: engine,
-		Watchdog: *watchdog, Retries: *retries}
+		PartitionWorkers: *partWorkers, Watchdog: *watchdog, Retries: *retries}
 	if *verbose {
 		opts.OnEvent = func(ev experiments.Event) {
 			line := fmt.Sprintf("  [%d/%d] %-7s on %-28s cycles=%-9d elapsed=%s",

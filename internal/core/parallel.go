@@ -1,0 +1,493 @@
+package core
+
+// The partition-parallel engine (-engine=parallel): partitions simulate
+// on separate goroutines, synchronizing at the phase barriers that the
+// lint rule `tick-phase-order` pins on GPU.step. The committed shard
+// map (docs/shardmap.json) proves the partition seam statically; this
+// file is the runtime that exploits it. docs/PARALLEL.md walks through
+// the barrier protocol and the determinism argument; the short form:
+//
+//	vmsys.Tick                      serial   (coordinator)
+//	phase A  per partition          workers  SM ticks (VM calls gated into
+//	                                         partition order) + request-link
+//	                                         drains, all partition-local
+//	barrier A                       serial   flush staged page allocations,
+//	                                         replay MDR observations in SM-ID
+//	                                         order
+//	moveXbars + moveInterModule     serial   the NoC is the only structure
+//	                                         that couples partitions
+//	phase B  per partition          workers  reply-link drains, slice ticks
+//	                                         (store acks deferred), channel
+//	                                         ticks, all partition-local
+//	barrier B                       serial   replay store acks in slice-ID
+//	                                         order
+//	mdr / migration / trace tail    serial   (coordinator)
+//
+// Commutative state (metrics.Stats counters, the sharing histogram) is
+// sharded per partition and folded exactly at end of run; everything
+// else a worker touches is either owned by one of its partitions or
+// exchanged at a barrier in component-ID order. Results are therefore
+// byte-identical to the serial engines at every worker count — the
+// cross-engine suite asserts it and CI runs these paths under -race.
+
+import (
+	"sync"
+
+	"github.com/nuba-gpu/nuba/internal/config"
+	"github.com/nuba-gpu/nuba/internal/metrics"
+	"github.com/nuba-gpu/nuba/internal/sim"
+)
+
+// parallelGrouping declares which component types the engine groups by
+// owning partition onto workers. The nubalint stale-shardmap guard
+// cross-checks this manifest against the components in the committed
+// docs/shardmap.json, so the engine cannot silently drift from the
+// statically proven partition plan (`make shardmap`).
+var parallelGrouping = []string{
+	"internal/smcore.SM",
+	"internal/llc.Slice",
+	"internal/dram.Channel",
+}
+
+// phase identifies a worker job.
+type phase int8
+
+const (
+	phaseSM  phase = iota + 1 // SM ticks + request-link drains
+	phaseMem                  // reply-link drains + slice + channel ticks
+)
+
+// parJob is one dispatch to a background worker.
+type parJob struct {
+	ph  phase
+	now sim.Cycle
+}
+
+// storeAck is a deferred Slice.StoreDone delivery (see GPU.storeDone).
+type storeAck struct {
+	req *sim.MemReq
+	now sim.Cycle
+}
+
+// mdrObs is a deferred mdr.Profiler.Observe call (see nubaSend).
+type mdrObs struct {
+	req            *sim.MemReq
+	home           int
+	local          bool
+	replicaWouldBe int
+	now            sim.Cycle
+}
+
+// parShard is one partition's private slice of the commutative state.
+type parShard struct {
+	stats metrics.Stats
+	hist  *metrics.SharingHistogram
+}
+
+// parState is the engine's machinery: the worker pool, the VM
+// allocation gate, the per-partition shards and the barrier-exchange
+// outboxes.
+type parState struct {
+	nParts  int
+	blocks  [][2]int // per worker: owned partition range [lo, hi)
+	shards  []parShard
+	scratch metrics.Stats // statsView's merge buffer
+
+	// inPhase is true while phase workers run; the deferral seams
+	// (storeDone, nubaSend) and the VM gate consult it. Written by the
+	// coordinator only, with a happens-before edge to the workers
+	// through the job channels.
+	inPhase bool
+
+	// VM allocation gate: partition p's SMs may enter the shared VM
+	// system only once every partition < p has finished its SM ticks,
+	// so vmsys (whose Request return value is branch-sensitive the same
+	// cycle) sees callers in exactly the serial engines' order. Workers
+	// own ascending contiguous partition blocks, so the wait graph has
+	// no cycles.
+	gateMu   sync.Mutex
+	gateCond *sync.Cond
+	smDone   []bool
+	frontier int // first partition whose SM ticks have not all finished
+
+	// Barrier-exchange outboxes, replayed in component-ID order.
+	obsOut [][]mdrObs   // per SM: deferred MDR profiler observations
+	ackOut [][]storeAck // per slice: deferred store acknowledgements
+
+	// Background worker pool (workers 1..len(blocks)-1; the coordinator
+	// runs block 0 inline). Recreated by start for every runUntilIdle.
+	jobs    []chan parJob
+	done    chan struct{}
+	wg      sync.WaitGroup
+	running bool
+
+	// A worker panic is captured, the gate is poisoned so no peer
+	// deadlocks waiting on the dead worker's partitions, and the panic
+	// rethrows on the coordinator after the barrier join — composing
+	// with the experiment pool's panic isolation.
+	panicMu  sync.Mutex
+	panicVal any
+}
+
+// parCapable reports whether the configuration supports the fully
+// parallel cycle. The monolithic NUBA arch is the paper's partitioned
+// machine: SM+LLC+channel clusters coupled only through the NoC. The
+// other architectures and the page-moving placement policies have
+// cross-partition tick-path traffic outside the NoC phases (inter-half
+// links, migration shootdowns mid-phase), so they fall back to the
+// hybrid serial loop — still correct, just not parallel.
+func (g *GPU) parCapable() bool {
+	return g.cfg.Arch == config.NUBA &&
+		g.cfg.NumModules <= 1 &&
+		g.cfg.Placement != config.Migration &&
+		g.cfg.Placement != config.PageReplication &&
+		g.cfg.NumPartitions() > 1
+}
+
+// SetPartitionWorkers sets the parallel engine's worker count: 0 (the
+// default) means one worker per partition; 1 runs the barrier schedule
+// inline on the coordinator. Like the engine choice itself, the worker
+// count is an execution knob that never changes simulated results —
+// it is memo-key-neutral in the run API. Call before running kernels.
+func (g *GPU) SetPartitionWorkers(n int) { g.parWorkers = n }
+
+// PartitionWorkers returns the effective worker count the parallel
+// engine would use (after clamping to [1, NumPartitions]).
+func (g *GPU) PartitionWorkers() int {
+	w := g.parWorkers
+	if w <= 0 || w > g.cfg.NumPartitions() {
+		w = g.cfg.NumPartitions()
+	}
+	return w
+}
+
+// ensurePar builds parState on the first parallel batch; it leaves
+// g.par nil for fallback configurations.
+func (g *GPU) ensurePar() {
+	if g.parTried {
+		return
+	}
+	g.parTried = true
+	if !g.parCapable() {
+		return
+	}
+	parts := g.cfg.NumPartitions()
+	workers := g.PartitionWorkers()
+	p := &parState{
+		nParts: parts,
+		shards: make([]parShard, parts),
+		smDone: make([]bool, parts),
+		obsOut: make([][]mdrObs, g.cfg.NumSMs),
+		ackOut: make([][]storeAck, g.cfg.NumLLCSlices),
+	}
+	p.gateCond = sync.NewCond(&p.gateMu)
+	// Contiguous ascending partition blocks, one per worker.
+	for w := 0; w < workers; w++ {
+		lo := w * parts / workers
+		hi := (w + 1) * parts / workers
+		if lo < hi {
+			p.blocks = append(p.blocks, [2]int{lo, hi})
+		}
+	}
+	// Re-point every component's counter sinks at its partition's
+	// shard. Each shard is written by exactly one goroutine per phase
+	// and folded with the exact commutative merge at end of run.
+	for part := range p.shards {
+		p.shards[part].hist = metrics.NewSharingHistogram()
+	}
+	for _, s := range g.sms {
+		sh := &p.shards[s.Part]
+		s.SetStats(&sh.stats, sh.hist)
+	}
+	for _, sl := range g.slices {
+		sl.SetStats(&p.shards[sl.Part].stats)
+	}
+	g.par = p
+}
+
+// startParWorkers spawns the background workers for one runUntilIdle
+// call; the returned stop joins them. nil when the engine runs inline
+// (fallback configuration or a single worker).
+func (g *GPU) startParWorkers() func() {
+	g.ensurePar()
+	p := g.par
+	if p == nil || len(p.blocks) <= 1 || p.running {
+		return nil
+	}
+	p.running = true
+	p.jobs = make([]chan parJob, len(p.blocks))
+	p.done = make(chan struct{}, len(p.blocks))
+	for w := 1; w < len(p.blocks); w++ {
+		p.jobs[w] = make(chan parJob)
+		p.wg.Add(1)
+		go func(w int) {
+			defer p.wg.Done()
+			for job := range p.jobs[w] {
+				g.runParBlock(job.ph, w, job.now)
+				p.done <- struct{}{}
+			}
+		}(w)
+	}
+	return func() {
+		for w := 1; w < len(p.blocks); w++ {
+			close(p.jobs[w])
+		}
+		p.wg.Wait()
+		p.running = false
+	}
+}
+
+// runParBlock executes one phase for worker w's partitions, capturing
+// panics so a dying worker can neither wedge the gate nor escape the
+// experiment pool's isolation.
+func (g *GPU) runParBlock(ph phase, w int, now sim.Cycle) {
+	defer func() {
+		if r := recover(); r != nil {
+			p := g.par
+			p.panicMu.Lock()
+			if p.panicVal == nil {
+				p.panicVal = r
+			}
+			p.panicMu.Unlock()
+			// Poison the gate: release any peer waiting on this
+			// worker's unfinished partitions. The run is already dead;
+			// the coordinator rethrows after the join.
+			p.gateMu.Lock()
+			p.frontier = p.nParts
+			p.gateCond.Broadcast()
+			p.gateMu.Unlock()
+		}
+	}()
+	lo, hi := g.par.blocks[w][0], g.par.blocks[w][1]
+	switch ph {
+	case phaseSM:
+		spp := g.cfg.SMsPerPartitionActual()
+		for part := lo; part < hi; part++ {
+			for i := part * spp; i < (part+1)*spp; i++ {
+				g.sms[i].Tick(now)
+			}
+			g.par.finishSMs(part)
+			g.moveNUBARequestLinksRange(part*spp, (part+1)*spp, now)
+		}
+	case phaseMem:
+		slpp := g.cfg.SlicesPerPartitionActual()
+		memTick := now%sim.Cycle(g.cfg.MemClockDiv) == 0
+		mem := int64(now) / int64(g.cfg.MemClockDiv)
+		for part := lo; part < hi; part++ {
+			st := &g.par.shards[part].stats
+			g.moveNUBAReplyLinksRange(part*slpp, (part+1)*slpp, st, now)
+			for s := part * slpp; s < (part+1)*slpp; s++ {
+				g.slices[s].Tick(now)
+			}
+			if memTick {
+				// NumPartitions == NumChannels: partition part owns
+				// exactly channel part.
+				g.chans[part].Tick(mem)
+			}
+		}
+	}
+}
+
+// runPhase dispatches one phase to the background workers, runs block 0
+// on the coordinator, joins the barrier, and rethrows any worker panic.
+func (g *GPU) runPhase(ph phase, now sim.Cycle) {
+	p := g.par
+	for w := 1; w < len(p.blocks); w++ {
+		p.jobs[w] <- parJob{ph: ph, now: now}
+	}
+	g.runParBlock(ph, 0, now)
+	for w := 1; w < len(p.blocks); w++ {
+		<-p.done
+	}
+	if p.panicVal != nil {
+		r := p.panicVal
+		p.panicVal = nil
+		panic(r)
+	}
+}
+
+// resetGate re-arms the VM allocation gate for a new SM phase.
+func (p *parState) resetGate() {
+	p.gateMu.Lock()
+	p.frontier = 0
+	for i := range p.smDone {
+		p.smDone[i] = false
+	}
+	p.gateMu.Unlock()
+}
+
+// finishSMs marks partition part's SM ticks complete and advances the
+// gate frontier over the finished prefix.
+func (p *parState) finishSMs(part int) {
+	p.gateMu.Lock()
+	p.smDone[part] = true
+	for p.frontier < p.nParts && p.smDone[p.frontier] {
+		p.frontier++
+	}
+	p.gateCond.Broadcast()
+	p.gateMu.Unlock()
+}
+
+// gatedVMRequest is the VMRequest seam installed on every SM (wire).
+// Outside a parallel phase it is vmsys.Request plus one nil check.
+// Inside phase A it blocks the caller until the gate frontier reaches
+// its partition, then holds the gate mutex across the vmsys call: at
+// most one SM is ever inside the VM system, and partitions enter in
+// ascending order — the serial engines' exact call order, which keeps
+// the port-arbitration branch (Request's return value) and the walk
+// event-heap insertion order byte-identical.
+func (g *GPU) gatedVMRequest(part int, vpn uint64, writable bool, now sim.Cycle, done func()) bool {
+	p := g.par
+	if p == nil || !p.inPhase {
+		return g.vmsys.Request(part, vpn, writable, now, done)
+	}
+	p.gateMu.Lock()
+	for p.frontier < part {
+		p.gateCond.Wait()
+	}
+	ok := g.vmsys.Request(part, vpn, writable, now, done)
+	p.gateMu.Unlock()
+	return ok
+}
+
+// statsView returns the run's counters as the serial engines would see
+// them: g.stats itself when no shards exist, otherwise a non-destructive
+// merge of g.stats and every partition shard into a scratch buffer. The
+// tracing sampler reads through it so epoch deltas stay byte-identical
+// across engines.
+func (g *GPU) statsView() *metrics.Stats {
+	p := g.par
+	if p == nil {
+		return g.stats
+	}
+	p.scratch = *g.stats
+	for i := range p.shards {
+		p.scratch.Add(&p.shards[i].stats)
+	}
+	return &p.scratch
+}
+
+// foldShards drains the per-partition shards into the run statistics
+// and histogram. Stats shards are zeroed after the exact integer fold
+// so collect stays idempotent on error paths; histogram merges are set
+// unions (idempotent by themselves) and need no drain.
+func (g *GPU) foldShards() {
+	p := g.par
+	if p == nil {
+		return
+	}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		g.stats.Add(&sh.stats)
+		sh.stats = metrics.Stats{}
+		g.hist.Merge(sh.hist)
+	}
+}
+
+// replayMDRObs replays phase A's deferred profiler observations in
+// SM-ID order — the order nubaSend produces them in under the serial
+// engines (the shadow tags are LRU, so order matters).
+func (g *GPU) replayMDRObs() {
+	if g.mdrProf == nil {
+		return
+	}
+	p := g.par
+	for sm := range p.obsOut {
+		for _, o := range p.obsOut[sm] {
+			g.mdrProf.Observe(o.req, o.home, o.local, o.replicaWouldBe, o.now)
+		}
+		p.obsOut[sm] = p.obsOut[sm][:0]
+	}
+}
+
+// replayStoreAcks replays phase B's deferred store acknowledgements in
+// slice-ID order — the serial engines' slice-tick order. Nothing reads
+// SM state between the slice phase and this barrier, so delivery here
+// is indistinguishable from the serial engines' in-tick delivery.
+func (g *GPU) replayStoreAcks() {
+	p := g.par
+	for s := range p.ackOut {
+		for _, a := range p.ackOut[s] {
+			g.accountService(a.req)
+			g.sms[a.req.SM].AcceptReply(a.req, a.now)
+		}
+		p.ackOut[s] = p.ackOut[s][:0]
+	}
+}
+
+// advanceToParallel is the parallel engine's advanceTo: the hybrid
+// engine's idle-skip control flow (identical wake scan, stride backoff
+// and batch lattice) around parallelStep instead of step. Fallback
+// configurations run the plain hybrid loop.
+func (g *GPU) advanceToParallel(target sim.Cycle) {
+	g.ensurePar()
+	if g.par == nil {
+		g.advanceTo(target)
+		return
+	}
+	for g.cycle < target {
+		w := g.nextWake()
+		if w <= g.cycle+1 {
+			for i := sim.Cycle(0); i <= g.busyStride && g.cycle < target; i++ {
+				g.parallelStep()
+			}
+			if g.busyStride < batchCycles/2 {
+				g.busyStride = 2*g.busyStride + 1
+			}
+			continue
+		}
+		g.busyStride = 0
+		if w > target {
+			g.cycle = target
+			return
+		}
+		g.cycle = w - 1
+		g.parallelStep()
+	}
+}
+
+// parallelStep advances the whole system by one core cycle on the
+// barrier schedule. Compare with GPU.step's NUBA arm: the phases run
+// in the same declared order, with the partition-local work fanned out
+// and every cross-partition effect confined to the serial sections and
+// the ordered barrier replays.
+func (g *GPU) parallelStep() {
+	g.cycle++
+	now := g.cycle
+	p := g.par
+
+	g.vmsys.Tick(now)
+
+	// Phase A: SM ticks + request-link drains, per partition. Page
+	// allocations stage their page-table insert so concurrent
+	// PageLookup readers never observe a mid-phase map write.
+	p.resetGate()
+	g.drv.StageAllocations(true)
+	p.inPhase = true
+	g.runPhase(phaseSM, now)
+	p.inPhase = false
+	g.drv.StageAllocations(false)
+	g.drv.FlushStagedAllocations()
+	g.replayMDRObs()
+
+	// The NoC phases couple partitions and stay serial.
+	g.moveXbars(now)
+	g.moveInterModule(now)
+
+	// Phase B: reply-link drains, slice ticks and channel ticks, per
+	// partition; store acks park in slice outboxes.
+	p.inPhase = true
+	g.runPhase(phaseMem, now)
+	p.inPhase = false
+	g.replayStoreAcks()
+
+	if g.mdrCtl != nil {
+		g.mdrCtl.Tick(now)
+	}
+	g.drainMigQueue()
+
+	if g.tracer != nil && now >= g.tr.next {
+		g.traceSample(now)
+		g.tr.next = now + g.tracer.EpochCycles()
+	}
+}

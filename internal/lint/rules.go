@@ -623,6 +623,12 @@ func checkGoroutine(c *pkgCtx) {
 		return
 	}
 	for _, f := range c.pkg.Files {
+		// Per-file exemptions (`allow goroutine-in-core = <file>`) carve
+		// out the partition-parallel engine's worker pool, the one
+		// sanctioned concurrency seam inside the cycle-level model.
+		if c.pol.Allowed(RuleGoroutine, c.prog.RelFile(f.Pos()), c.pkg.RelName()) {
+			continue
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			if g, ok := n.(*ast.GoStmt); ok {
 				c.emitPos(g.Go, RuleGoroutine,

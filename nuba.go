@@ -194,6 +194,14 @@ const (
 	// runs are byte-identical to the other engines but much slower —
 	// a verification tool, not a production engine.
 	EngineSanitize = core.EngineSanitize
+	// EngineParallel simulates partitions on separate goroutines,
+	// synchronizing at the phase barriers of the serial tick order, with
+	// cross-partition traffic exchanged only at the NoC barriers. Results
+	// are byte-identical to the other engines at every worker count (see
+	// docs/PARALLEL.md); configurations without an exploitable partition
+	// structure fall back to the hybrid loop. Tune with
+	// WithPartitionWorkers.
+	EngineParallel = core.EngineParallel
 )
 
 // ParseEngine parses a -engine flag value (one of EngineNames).
@@ -213,14 +221,15 @@ type RunOption func(*runConfig)
 // what used to be TraceOptions plumbing and the RunOptions struct into a
 // single type behind functional options.
 type runConfig struct {
-	trace    *TraceOptions
-	traceFor func(b Benchmark) *TraceOptions
-	launches func(sys *System) ([]*Launch, error)
-	workers  int
-	progress func(RunEvent)
-	engine   Engine
-	watchdog WatchdogOptions
-	arm      func(sys *System) error
+	trace       *TraceOptions
+	traceFor    func(b Benchmark) *TraceOptions
+	launches    func(sys *System) ([]*Launch, error)
+	workers     int
+	progress    func(RunEvent)
+	engine      Engine
+	partWorkers int
+	watchdog    WatchdogOptions
+	arm         func(sys *System) error
 }
 
 // WithTrace attaches observability sinks to a single run: the NDJSON
@@ -271,6 +280,20 @@ func WithProgress(f func(RunEvent)) RunOption {
 // reference escape hatch.
 func WithEngine(e Engine) RunOption {
 	return func(rc *runConfig) { rc.engine = e }
+}
+
+// WithPartitionWorkers sets EngineParallel's goroutine count: 0 (the
+// default) uses one worker per partition, 1 runs the barrier schedule
+// inline, and values above the partition count are clamped to it. Like
+// the engine choice itself it is an execution knob, never a simulation
+// parameter: results are byte-identical at every worker count, and the
+// setting lives outside Config so all worker counts share config
+// fingerprints (the experiment engine's memo key). Other engines ignore
+// it. Speedup over the serial engines additionally needs GOMAXPROCS >=
+// the worker count; see the tuning guide in docs/PARALLEL.md for how
+// this knob composes with RunSuite's WithWorkers pool.
+func WithPartitionWorkers(n int) RunOption {
+	return func(rc *runConfig) { rc.partWorkers = n }
 }
 
 // WatchdogOptions configures the forward-progress watchdog of a run.
@@ -424,6 +447,7 @@ func execute(ctx context.Context, cfg Config, build func(sys *System) ([]*Launch
 		return nil, err
 	}
 	g.SetEngine(rc.engine)
+	g.SetPartitionWorkers(rc.partWorkers)
 	if rc.watchdog.NoProgressCycles > 0 {
 		g.SetWatchdog(rc.watchdog.NoProgressCycles)
 	}
